@@ -1,0 +1,45 @@
+"""Ablation: union-find vs MWPM decoding (speed and accuracy).
+
+Not a paper figure — DESIGN.md §7 calls this design choice out.  The
+sweeps use union-find by default; this bench quantifies what that costs in
+accuracy and buys in speed on the same sampled syndromes.
+"""
+
+import time
+
+from conftest import shots
+from repro.noise import BASELINE_HARDWARE, ErrorModel
+from repro.report import ascii_table
+from repro.sim import run_memory_experiment
+from repro.surface_code import baseline_memory_circuit
+
+
+def test_decoder_ablation(once):
+    model = ErrorModel(hardware=BASELINE_HARDWARE, p=5e-3)
+    memory = baseline_memory_circuit(5, model)
+    n = shots(1500)
+
+    def run_both():
+        results = {}
+        for decoder in ("unionfind", "mwpm"):
+            start = time.perf_counter()
+            results[decoder] = (
+                run_memory_experiment(memory, shots=n, decoder=decoder, seed=5),
+                time.perf_counter() - start,
+            )
+        return results
+
+    results = once(run_both)
+    rows = [
+        (name, f"{res.logical_error_rate:.4f}", f"{elapsed:.2f}s")
+        for name, (res, elapsed) in results.items()
+    ]
+    print()
+    print(ascii_table(
+        ["decoder", "logical error rate", "wall time"],
+        rows,
+        title=f"Decoder ablation (baseline d=5, p=5e-3, {n} shots)",
+    ))
+    uf, mwpm = results["unionfind"][0], results["mwpm"][0]
+    # Union-find must track MWPM accuracy closely.
+    assert uf.logical_error_rate <= mwpm.logical_error_rate * 1.6 + 0.01

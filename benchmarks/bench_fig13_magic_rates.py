@@ -1,0 +1,65 @@
+"""Figure 13: T-state generation rate and space for each factory.
+
+Exact reproduction of both panels plus the §VII speedup claims, and the
+VLQ-compiler-derived schedule for the 15-to-1 circuit.
+"""
+
+import pytest
+
+from repro.magic import (
+    FAST_LATTICE,
+    PROTOCOLS,
+    SMALL_LATTICE,
+    VQUBITS,
+    generation_rate,
+    patches_for_one_state_per_step,
+    speedup_over,
+    vqubits_distillation_schedule,
+)
+from repro.report import ascii_table
+
+PAPER_13A = {"Fast": 100 / 180, "Small": 100 / 121, "VQubits": 100 / 99}
+PAPER_13B = {"Fast": 180, "Small": 121, "VQubits": 99}
+
+
+def test_fig13a_generation_rate(once):
+    rates = once(lambda: {p.name: generation_rate(p, 100) for p in PROTOCOLS})
+    print()
+    print(ascii_table(
+        ["protocol", "|T>/step @100 patches", "paper"],
+        [(n, f"{r:.4f}", f"{PAPER_13A[n]:.4f}") for n, r in rates.items()],
+        title="Fig. 13a: rate with 100 patches",
+    ))
+    for name, rate in rates.items():
+        assert rate == pytest.approx(PAPER_13A[name], rel=1e-9)
+    assert speedup_over(VQUBITS, SMALL_LATTICE) == pytest.approx(1.22, abs=0.005)
+    assert speedup_over(VQUBITS, FAST_LATTICE) == pytest.approx(1.82, abs=0.005)
+    print(f"speedups: {speedup_over(VQUBITS, SMALL_LATTICE):.2f}x vs Small "
+          f"(paper 1.22x), {speedup_over(VQUBITS, FAST_LATTICE):.2f}x vs Fast "
+          f"(paper 1.82x)")
+
+
+def test_fig13b_space(once):
+    spaces = once(
+        lambda: {p.name: patches_for_one_state_per_step(p) for p in PROTOCOLS}
+    )
+    print()
+    print(ascii_table(
+        ["protocol", "patches for 1 |T>/step", "paper"],
+        [(n, f"{s:.0f}", PAPER_13B[n]) for n, s in spaces.items()],
+        title="Fig. 13b: space to get 1 |T> per step",
+    ))
+    for name, space in spaces.items():
+        assert space == pytest.approx(PAPER_13B[name], rel=1e-9)
+
+
+def test_vqubits_15to1_schedule(once):
+    schedule = once(vqubits_distillation_schedule)
+    print(f"\n15-to-1 on one stack via the VLQ compiler: "
+          f"{schedule.timesteps} timesteps (paper hand schedule: 110), "
+          f"{schedule.cnots} CNOTs all transversal, "
+          f"{schedule.refresh_violations} refresh violations")
+    assert schedule.refresh_violations == 0
+    assert schedule.transversal_fraction == 1.0
+    # Same order as the paper's 110-step schedule.
+    assert 40 <= schedule.timesteps <= 200

@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the paper-vs-measured rows.  Monte-Carlo fidelity is controlled by
+the ``REPRO_SHOTS`` environment variable (the paper used 2,000,000 trials
+per point on a cluster; the defaults here are laptop-friendly and resolve
+the *shape* — who wins, where curves cross — rather than the third digit).
+"""
+
+import os
+
+import pytest
+
+
+def shots(default: int) -> int:
+    return int(os.environ.get("REPRO_SHOTS", default))
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the measured function exactly once (sweeps are expensive)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return run

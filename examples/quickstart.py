@@ -1,0 +1,38 @@
+"""Quickstart: error-correct one virtualized logical qubit.
+
+Builds the paper's proof-of-concept machine — a single Compact distance-3
+stack needing just **11 transmons and 9 cavities** — runs Interleaved
+syndrome extraction under the Table-I noise model, decodes with union-find,
+and prints the logical error rate.
+"""
+
+from repro import ErrorModel, MEMORY_HARDWARE
+from repro import compact_memory_circuit, run_memory_experiment
+from repro.arch import CompactLayout
+from repro.surface_code import RotatedSurfaceCode
+
+
+def main() -> None:
+    code = RotatedSurfaceCode(3)
+    layout = CompactLayout(code)
+    print("Proof-of-concept Compact stack (paper §I / §VIII):")
+    print(f"  transmons: {layout.num_transmons}   cavities: {layout.num_cavities}")
+    print(f"  logical qubits stored (k=10, one free mode): 9")
+    print()
+    print(code.ascii_diagram())
+    print()
+
+    model = ErrorModel(hardware=MEMORY_HARDWARE, p=2e-3)
+    memory = compact_memory_circuit(3, model, schedule="interleaved")
+    print(f"Scheme: {memory.scheme}, {memory.rounds} rounds, "
+          f"{memory.circuit.num_detectors} detectors, "
+          f"service period {memory.duration * 1e6:.1f} us")
+
+    result = run_memory_experiment(memory, shots=4000, seed=1)
+    low, high = result.confidence_interval
+    print(f"Logical error rate @ p=2e-3: {result.logical_error_rate:.2e} "
+          f"(95% CI [{low:.2e}, {high:.2e}])")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Process tomography of both logical CNOT implementations (§III-B).
+
+Reproduces the paper's verification that the transversal CNOT "applies the
+expected CNOT unitary in simulation", and does the same for the 6x-slower
+merge/split lattice-surgery CNOT, using exact Choi-state tomography on the
+stabilizer simulator.  Also demonstrates the honest plaquette-level rough
+merge with classical outcome extraction.
+"""
+
+from repro.surgery import (
+    SurgeryLab,
+    tomography_of_lattice_surgery_cnot,
+    tomography_of_transversal_cnot,
+)
+from repro.surgery.physical import VerticalPair
+
+
+def main() -> None:
+    process_map, is_cnot = tomography_of_transversal_cnot(distance=3, seed=0)
+    print("Transversal CNOT (1 timestep) process map:")
+    for generator, (sign, image) in process_map.items():
+        print(f"  {generator} -> {'+' if sign > 0 else '-'}{image}")
+    print("  matches ideal CNOT:", is_cnot)
+    print()
+
+    for seed in range(3):
+        _, is_cnot = tomography_of_lattice_surgery_cnot(distance=3, seed=seed)
+        print(f"Lattice-surgery CNOT (6 timesteps), outcome branch #{seed}: "
+              f"matches ideal CNOT: {is_cnot}")
+    print()
+
+    print("Plaquette-level rough merge (joint Z x Z measurement):")
+    for a in (0, 1):
+        for b in (0, 1):
+            d = 3
+            lab = SurgeryLab(2 * d * d + d, seed=a * 2 + b)
+            pair = VerticalPair.allocate(lab, d)
+            lab.encode_zero(pair.top)
+            lab.encode_zero(pair.bottom)
+            if a:
+                lab.apply_logical(pair.top, "X")
+            if b:
+                lab.apply_logical(pair.bottom, "X")
+            m = pair.merge()
+            pair.split()
+            print(f"  |{a}{b}> -> measured Z(x)Z = {m} (expected {a ^ b})")
+
+
+if __name__ == "__main__":
+    main()

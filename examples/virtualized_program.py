@@ -1,0 +1,60 @@
+"""Compile and *execute* a logical program on virtualized qubits.
+
+Demonstrates the paging scheduler end to end: a GHZ circuit is compiled
+onto a 2.5D machine (co-location makes every CNOT transversal), then the
+same logical circuit is executed on exact encoded patches in the
+stabilizer simulator to verify the state really is GHZ.
+"""
+
+from repro.core import LogicalProgram, Machine, compile_program
+from repro.surgery import SurgeryLab, transversal_cnot
+
+
+def compile_side() -> None:
+    program = LogicalProgram.ghz(6)
+    machine = Machine(stack_grid=(2, 2), cavity_modes=10, distance=5)
+    schedule = compile_program(program, machine)
+    print("=== compiled schedule ===")
+    print(schedule.timeline())
+    print("CNOT breakdown:", schedule.cnot_breakdown())
+    print(f"refresh rounds: {schedule.refresh_rounds}, "
+          f"violations: {schedule.refresh_violations}")
+    print(f"machine: {machine.total_transmons} transmons, "
+          f"{machine.total_cavities} cavities, capacity "
+          f"{machine.logical_capacity} logical qubits")
+    print()
+
+    surgery_only = compile_program(program, machine, policy="surgery_only")
+    print(f"same program, conventional lattice surgery only: "
+          f"{surgery_only.total_timesteps} vs {schedule.total_timesteps} timesteps")
+    print()
+
+
+def execute_side() -> None:
+    # Execute GHZ-3 on exact encoded d=3 patches (transversal CNOTs, as
+    # the compiler chose) and verify the logical correlations.
+    n, d = 3, 3
+    lab = SurgeryLab(n * d * d, seed=0)
+    patches = [lab.allocate_patch(f"q{i}", d) for i in range(n)]
+    for p in patches:
+        lab.encode_zero(p)
+    # H on q0 realized as |+> preparation (fresh qubit).
+    lab.sim.measure_pauli(patches[0].logical_x(), forced_outcome=0)
+    for i in range(n - 1):
+        transversal_cnot(lab, patches[i], patches[i + 1])
+
+    print("=== execution on encoded patches ===")
+    all_x = patches[0].logical_x()
+    for p in patches[1:]:
+        all_x = all_x * p.logical_x()
+    print("  <X X X> =", lab.sim.peek_pauli_expectation(all_x))
+    for i in range(n - 1):
+        zz = patches[i].logical_z() * patches[i + 1].logical_z()
+        print(f"  <Z{i} Z{i+1}> =", lab.sim.peek_pauli_expectation(zz))
+    outcomes = [lab.measure_logical(p, "Z") for p in patches]
+    print("  sampled logical readout:", outcomes, "(all equal => GHZ)")
+
+
+if __name__ == "__main__":
+    compile_side()
+    execute_side()

@@ -1,0 +1,117 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``      print Table I and Table II reproductions
+``magic``       print the Fig. 13 factory comparison
+``inventory``   print hardware inventories for a machine configuration
+``threshold``   run a quick threshold sweep for one scheme
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_tables(_args) -> None:
+    from repro.noise import BASELINE_HARDWARE, MEMORY_HARDWARE
+    from repro.magic import qubit_cost_table
+    from repro.report import ascii_table
+
+    base = dict(BASELINE_HARDWARE.table_rows())
+    mem = dict(MEMORY_HARDWARE.table_rows())
+    rows = [(k, base[k], mem[k]) for k in base]
+    print(ascii_table(["parameter", "baseline", "with memory"], rows,
+                      title="Table I: hardware model"))
+    print()
+    print(ascii_table(
+        ["protocol", "# transmons", "# cavities", "total qubits"],
+        [c.row() for c in qubit_cost_table(distance=5, cavity_modes=10)],
+        title="Table II: T-factory qubit costs (d=5, k=10)",
+    ))
+
+
+def _cmd_magic(_args) -> None:
+    from repro.magic import (
+        FAST_LATTICE,
+        PROTOCOLS,
+        SMALL_LATTICE,
+        VQUBITS,
+        generation_rate,
+        patches_for_one_state_per_step,
+        speedup_over,
+    )
+    from repro.report import ascii_table
+
+    rows = [
+        (p.name, f"{generation_rate(p, 100):.4f}",
+         f"{patches_for_one_state_per_step(p):.0f}")
+        for p in PROTOCOLS
+    ]
+    print(ascii_table(
+        ["protocol", "|T>/step @100 patches", "patches for 1 |T>/step"],
+        rows, title="Fig. 13: magic-state factories",
+    ))
+    print(f"VQubits speedups: {speedup_over(VQUBITS, SMALL_LATTICE):.2f}x vs "
+          f"Small, {speedup_over(VQUBITS, FAST_LATTICE):.2f}x vs Fast")
+
+
+def _cmd_inventory(args) -> None:
+    from repro.core import Machine
+
+    machine = Machine(
+        stack_grid=(args.grid, args.grid),
+        cavity_modes=args.modes,
+        distance=args.distance,
+        embedding=args.embedding,
+    )
+    print(f"machine: {machine.stack_grid[0]}x{machine.stack_grid[1]} stacks,"
+          f" d={machine.distance}, k={machine.cavity_modes}, {machine.embedding}")
+    print(f"  logical capacity : {machine.logical_capacity}")
+    print(f"  transmons        : {machine.total_transmons}")
+    print(f"  cavities         : {machine.total_cavities}")
+    print(f"  total qubits     : {machine.total_qubits}")
+
+
+def _cmd_threshold(args) -> None:
+    from repro.report import format_series
+    from repro.threshold import estimate_threshold
+
+    ps = [2e-3, 4e-3, 6e-3, 9e-3, 1.3e-2]
+    study = estimate_threshold(
+        args.scheme, physical_error_rates=ps, distances=(3, 5), shots=args.shots
+    )
+    series = {f"d={d}": study.logical_rates(d) for d in sorted(study.results)}
+    print(format_series(ps, series, xlabel="p", title=f"scheme: {args.scheme}"))
+    threshold = study.threshold_estimate()
+    print("threshold estimate:",
+          "not bracketed" if threshold is None else f"{threshold:.4f}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("tables")
+    sub.add_parser("magic")
+    inventory = sub.add_parser("inventory")
+    inventory.add_argument("--grid", type=int, default=2)
+    inventory.add_argument("--modes", type=int, default=10)
+    inventory.add_argument("--distance", type=int, default=5)
+    inventory.add_argument("--embedding", choices=("natural", "compact"),
+                           default="compact")
+    threshold = sub.add_parser("threshold")
+    threshold.add_argument("--scheme", default="baseline")
+    threshold.add_argument("--shots", type=int, default=500)
+    args = parser.parse_args(argv)
+    {
+        "tables": _cmd_tables,
+        "magic": _cmd_magic,
+        "inventory": _cmd_inventory,
+        "threshold": _cmd_threshold,
+    }[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

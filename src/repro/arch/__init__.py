@@ -1,0 +1,37 @@
+"""The 2.5D architecture: embeddings, schedules and hardware counts."""
+
+from repro.arch.counts import (
+    compact_cavities,
+    compact_transmons,
+    lattice_tiles_transmons,
+    natural_cavities,
+    natural_transmons,
+    total_qubits,
+    transmon_savings_factor,
+)
+from repro.arch.natural import natural_memory_circuit
+from repro.arch.compact import (
+    CompactLayout,
+    CompactScheduleSpec,
+    DEFAULT_SPEC,
+    ScheduleConflictError,
+    compact_memory_circuit,
+    find_schedule_spec,
+)
+
+__all__ = [
+    "CompactLayout",
+    "CompactScheduleSpec",
+    "DEFAULT_SPEC",
+    "ScheduleConflictError",
+    "compact_cavities",
+    "compact_memory_circuit",
+    "compact_transmons",
+    "find_schedule_spec",
+    "lattice_tiles_transmons",
+    "natural_cavities",
+    "natural_memory_circuit",
+    "natural_transmons",
+    "total_qubits",
+    "transmon_savings_factor",
+]

@@ -1,0 +1,117 @@
+"""The Natural embedding (§III-A) memory experiment.
+
+Layout is identical to the baseline 2D grid, but the logical qubit's data
+lives in cavity mode z under each data transmon; ancilla transmons have no
+cavities.  Syndrome extraction loads all data in parallel, runs standard
+rounds on the transmons, stores back, and the (k−1) other logical qubits of
+the stack serialize behind it — modelled as a cavity-idle gap.
+
+Two service disciplines (§III-A):
+
+* **All-at-once**: one load, d rounds back-to-back, one store; the gap is
+  (k−1)·(d·T_round + 2·T_ls) per service period.
+* **Interleaved**: load/round/store every cycle; the gap is
+  (k−1)·(T_round + 2·T_ls) per round, paid d times — more load/store churn,
+  but each logical qubit is corrected k× more often.
+"""
+
+from __future__ import annotations
+
+from repro.noise import ErrorModel
+from repro.surface_code.builder import CAVITY, MomentCircuitBuilder, SlotRegistry
+from repro.surface_code.extraction import (
+    MemoryCircuit,
+    emit_standard_round,
+    finish_memory_experiment,
+    standard_round_duration,
+)
+from repro.surface_code.layout import RotatedSurfaceCode
+
+__all__ = ["natural_memory_circuit"]
+
+SCHEDULES = ("all_at_once", "interleaved")
+
+
+def natural_memory_circuit(
+    distance: int,
+    error_model: ErrorModel,
+    rounds: int | None = None,
+    basis: str = "Z",
+    schedule: str = "interleaved",
+) -> MemoryCircuit:
+    """Memory experiment for the Natural embedding (Fig. 11, panels 2–3).
+
+    The circuit covers one full service period of a single logical qubit in
+    a depth-k stack: its own extraction rounds plus the cavity-idle gaps
+    during which the other k−1 stack members are serviced.
+    """
+    if basis not in ("X", "Z"):
+        raise ValueError("basis must be 'X' or 'Z'")
+    if schedule not in SCHEDULES:
+        raise ValueError(f"schedule must be one of {SCHEDULES}")
+    hw = error_model.hardware
+    if not hw.has_memory:
+        raise ValueError("Natural embedding requires memory hardware parameters")
+    code = RotatedSurfaceCode(distance)
+    rounds = distance if rounds is None else rounds
+    if rounds < 1:
+        raise ValueError("need at least one round")
+
+    builder = MomentCircuitBuilder(error_model)
+    registry = SlotRegistry()
+    transmon = {c: registry.slot(("t", c)) for c in code.data_coords}
+    mode = {c: registry.slot(("m", c)) for c in code.data_coords}
+    ancilla = {p.cell: registry.slot(("anc", p.cell)) for p in code.plaquettes}
+
+    k = hw.cavity_modes
+    t_round = standard_round_duration(error_model)
+    cycle_overhead = 2 * hw.t_load_store
+
+    def load_all() -> None:
+        builder.moment(
+            hw.t_load_store,
+            [("LOAD", mode[c], transmon[c]) for c in code.data_coords],
+        )
+
+    def store_all() -> None:
+        builder.moment(
+            hw.t_load_store,
+            [("STORE", transmon[c], mode[c]) for c in code.data_coords],
+        )
+
+    # --- initialization: encode on transmons, then park in the cavities ---
+    builder.moment(hw.t_reset, [("R", transmon[c]) for c in code.data_coords])
+    if basis == "X":
+        builder.moment(hw.t_gate_1q, [("H", transmon[c]) for c in code.data_coords])
+    store_all()
+
+    # --- service periods ---
+    if schedule == "all_at_once":
+        builder.idle_gap((k - 1) * (rounds * t_round + cycle_overhead))
+        load_all()
+        for _ in range(rounds):
+            emit_standard_round(builder, code, transmon, ancilla)
+    else:
+        for r in range(rounds):
+            builder.idle_gap((k - 1) * (t_round + cycle_overhead))
+            load_all()
+            emit_standard_round(builder, code, transmon, ancilla)
+            if r < rounds - 1:
+                store_all()
+
+    # --- final transversal readout (data already on transmons) ---
+    if basis == "X":
+        builder.moment(hw.t_gate_1q, [("H", transmon[c]) for c in code.data_coords])
+    builder.moment(
+        hw.t_measure, [("M", transmon[c], ("data", c)) for c in code.data_coords]
+    )
+    finish_memory_experiment(builder, code, basis)
+    return MemoryCircuit(
+        circuit=builder.circuit,
+        code=code,
+        basis=basis,
+        rounds=rounds,
+        scheme=f"natural_{schedule}",
+        duration=builder.elapsed,
+        op_counts=dict(builder.op_counts),
+    )

@@ -1,0 +1,26 @@
+"""Circuit intermediate representation shared by all simulators.
+
+A :class:`~repro.circuits.circuit.Circuit` is a flat stream of
+:class:`~repro.circuits.instructions.Instruction` objects (Clifford gates,
+resets, measurements and explicit Pauli noise channels), plus *detector* and
+*observable* annotations expressed as sets of absolute measurement indices —
+the same structure stim uses, rebuilt here from scratch.
+"""
+
+from repro.circuits.instructions import (
+    GATE_SPECS,
+    GateKind,
+    GateSpec,
+    Instruction,
+)
+from repro.circuits.circuit import Circuit, Detector, Observable
+
+__all__ = [
+    "Circuit",
+    "Detector",
+    "GateKind",
+    "GateSpec",
+    "GATE_SPECS",
+    "Instruction",
+    "Observable",
+]

@@ -1,0 +1,252 @@
+"""The :class:`Circuit` container plus detector/observable annotations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.circuits.instructions import GATE_SPECS, GateKind, Instruction
+
+__all__ = ["Circuit", "Detector", "Observable"]
+
+
+@dataclass(frozen=True)
+class Detector:
+    """A parity check over measurement outcomes that is deterministic
+    (always 0) in the absence of errors.
+
+    Attributes
+    ----------
+    measurements:
+        Absolute measurement indices whose XOR forms the detector value.
+    coord:
+        Free-form coordinates for debugging/graph layout, conventionally
+        ``(x, y, t)`` where ``t`` is the extraction round.
+    basis:
+        ``"Z"`` for detectors built from measure-Z stabilizers (they fire on
+        X errors) or ``"X"`` for measure-X stabilizers (fire on Z errors).
+    """
+
+    measurements: tuple[int, ...]
+    coord: tuple[float, ...] = ()
+    basis: str = "Z"
+
+    def __post_init__(self) -> None:
+        if self.basis not in ("X", "Z"):
+            raise ValueError(f"detector basis must be 'X' or 'Z', got {self.basis!r}")
+
+
+@dataclass(frozen=True)
+class Observable:
+    """A logical observable: the XOR of a set of measurement outcomes.
+
+    ``basis`` follows the operator being tracked: a logical-Z observable is
+    flipped by X errors and therefore belongs to the ``"Z"`` decoding graph
+    (same tagging convention as :class:`Detector`).
+    """
+
+    measurements: tuple[int, ...]
+    name: str = "L0"
+    basis: str = "Z"
+
+
+class Circuit:
+    """A flat stream of instructions plus detector/observable annotations.
+
+    The class doubles as its own builder: ``h``, ``cx``, ``measure`` etc.
+    append instructions and keep a running measurement counter so callers can
+    form detectors from absolute measurement indices.
+    """
+
+    def __init__(self, num_qubits: int = 0) -> None:
+        self.instructions: list[Instruction] = []
+        self.detectors: list[Detector] = []
+        self.observables: list[Observable] = []
+        self._num_qubits = num_qubits
+        self._num_measurements = 0
+
+    # ------------------------------------------------------------------
+    # Core append
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        name: str,
+        targets: Sequence[int],
+        args: Sequence[float] = (),
+    ) -> "Circuit":
+        """Append one instruction; returns self for chaining."""
+        instruction = Instruction(name, tuple(int(t) for t in targets), tuple(args))
+        for t in instruction.targets:
+            if t < 0:
+                raise ValueError("negative qubit target")
+            if t >= self._num_qubits:
+                self._num_qubits = t + 1
+        if instruction.kind is GateKind.MEASURE:
+            self._num_measurements += len(instruction.targets)
+        self.instructions.append(instruction)
+        return self
+
+    # ------------------------------------------------------------------
+    # Gate helpers
+    # ------------------------------------------------------------------
+    def h(self, *qubits: int) -> "Circuit":
+        return self.append("H", qubits)
+
+    def s(self, *qubits: int) -> "Circuit":
+        return self.append("S", qubits)
+
+    def x(self, *qubits: int) -> "Circuit":
+        return self.append("X", qubits)
+
+    def y(self, *qubits: int) -> "Circuit":
+        return self.append("Y", qubits)
+
+    def z(self, *qubits: int) -> "Circuit":
+        return self.append("Z", qubits)
+
+    def cx(self, *qubits: int) -> "Circuit":
+        """CNOTs on consecutive (control, target) pairs."""
+        return self.append("CX", qubits)
+
+    def cz(self, *qubits: int) -> "Circuit":
+        return self.append("CZ", qubits)
+
+    def swap(self, *qubits: int) -> "Circuit":
+        return self.append("SWAP", qubits)
+
+    def reset(self, *qubits: int) -> "Circuit":
+        return self.append("R", qubits)
+
+    def measure(self, *qubits: int, flip_probability: float = 0.0) -> list[int]:
+        """Measure qubits in the Z basis; returns the measurement indices.
+
+        ``flip_probability`` flips the *recorded* outcome classically (the
+        post-measurement state is unaffected), modelling readout error.
+        """
+        start = self._num_measurements
+        args = (flip_probability,) if flip_probability else ()
+        self.append("M", qubits, args)
+        return list(range(start, start + len(qubits)))
+
+    # ------------------------------------------------------------------
+    # Noise helpers
+    # ------------------------------------------------------------------
+    def depolarize1(self, qubits: Sequence[int], p: float) -> "Circuit":
+        if p > 0 and qubits:
+            self.append("DEPOLARIZE1", qubits, (p,))
+        return self
+
+    def depolarize2(self, pairs: Sequence[int], p: float) -> "Circuit":
+        if p > 0 and pairs:
+            self.append("DEPOLARIZE2", pairs, (p,))
+        return self
+
+    def x_error(self, qubits: Sequence[int], p: float) -> "Circuit":
+        if p > 0 and qubits:
+            self.append("X_ERROR", qubits, (p,))
+        return self
+
+    def z_error(self, qubits: Sequence[int], p: float) -> "Circuit":
+        if p > 0 and qubits:
+            self.append("Z_ERROR", qubits, (p,))
+        return self
+
+    # ------------------------------------------------------------------
+    # Annotations
+    # ------------------------------------------------------------------
+    def add_detector(
+        self,
+        measurements: Iterable[int],
+        coord: tuple[float, ...] = (),
+        basis: str = "Z",
+    ) -> int:
+        """Register a detector; returns its index."""
+        ms = tuple(sorted(int(m) for m in measurements))
+        for m in ms:
+            if not 0 <= m < self._num_measurements:
+                raise ValueError(f"detector references unknown measurement {m}")
+        self.detectors.append(Detector(ms, coord, basis))
+        return len(self.detectors) - 1
+
+    def add_observable(
+        self,
+        measurements: Iterable[int],
+        name: str = "",
+        basis: str = "Z",
+    ) -> int:
+        """Register a logical observable; returns its index."""
+        ms = tuple(sorted(int(m) for m in measurements))
+        for m in ms:
+            if not 0 <= m < self._num_measurements:
+                raise ValueError(f"observable references unknown measurement {m}")
+        index = len(self.observables)
+        self.observables.append(Observable(ms, name or f"L{index}", basis))
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def num_measurements(self) -> int:
+        return self._num_measurements
+
+    @property
+    def num_detectors(self) -> int:
+        return len(self.detectors)
+
+    @property
+    def num_observables(self) -> int:
+        return len(self.observables)
+
+    def noise_instruction_count(self) -> int:
+        """Number of explicit noise instructions (fault locations)."""
+        noisy = (GateKind.NOISE1, GateKind.NOISE2)
+        count = sum(1 for ins in self.instructions if ins.kind in noisy)
+        count += sum(
+            1 for ins in self.instructions if ins.kind is GateKind.MEASURE and ins.args
+        )
+        return count
+
+    def without_noise(self) -> "Circuit":
+        """A copy with all noise channels (and measurement flips) removed."""
+        clean = Circuit(self._num_qubits)
+        for ins in self.instructions:
+            if ins.kind in (GateKind.NOISE1, GateKind.NOISE2):
+                continue
+            if ins.kind is GateKind.MEASURE:
+                clean.measure(*ins.targets)
+            else:
+                clean.append(ins.name, ins.targets, ins.args)
+        clean.detectors = list(self.detectors)
+        clean.observables = list(self.observables)
+        return clean
+
+    def __iadd__(self, other: "Circuit") -> "Circuit":
+        """Concatenate ``other``, shifting its measurement indices."""
+        shift = self._num_measurements
+        for ins in other.instructions:
+            self.append(ins.name, ins.targets, ins.args)
+        for det in other.detectors:
+            self.detectors.append(
+                Detector(tuple(m + shift for m in det.measurements), det.coord, det.basis)
+            )
+        for obs in other.observables:
+            self.observables.append(
+                Observable(tuple(m + shift for m in obs.measurements), obs.name, obs.basis)
+            )
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        lines = [str(ins) for ins in self.instructions]
+        for i, det in enumerate(self.detectors):
+            lines.append(f"DETECTOR[{i}]{det.coord} basis={det.basis} M{det.measurements}")
+        for obs in self.observables:
+            lines.append(f"OBSERVABLE[{obs.name}] basis={obs.basis} M{obs.measurements}")
+        return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Instruction set for the circuit IR.
+
+The instruction set is deliberately small: the Clifford gates needed for
+surface-code syndrome extraction, collapse operations, and the Pauli noise
+channels of the paper's error model (depolarizing gate noise, idle/storage
+noise, measurement flips).  ``SWAP`` doubles as the error-frame action of the
+transmon-mediated load/store iSWAP (see DESIGN.md §4 for the substitution
+note).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["GateKind", "GateSpec", "GATE_SPECS", "Instruction"]
+
+
+class GateKind(enum.Enum):
+    """Coarse classification used by the simulators."""
+
+    UNITARY1 = "unitary1"  # single-qubit Clifford
+    UNITARY2 = "unitary2"  # two-qubit Clifford, targets grouped in pairs
+    RESET = "reset"  # reset to |0>
+    MEASURE = "measure"  # destructive-record Z measurement (state survives)
+    NOISE1 = "noise1"  # single-qubit Pauli channel
+    NOISE2 = "noise2"  # two-qubit Pauli channel, targets grouped in pairs
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static metadata for one instruction name."""
+
+    name: str
+    kind: GateKind
+    num_args: int = 0  # required float args (probabilities)
+    args_optional: bool = False
+
+    @property
+    def targets_per_group(self) -> int:
+        if self.kind in (GateKind.UNITARY2, GateKind.NOISE2):
+            return 2
+        return 1
+
+
+GATE_SPECS: dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in [
+        GateSpec("I", GateKind.UNITARY1),
+        GateSpec("H", GateKind.UNITARY1),
+        GateSpec("S", GateKind.UNITARY1),
+        GateSpec("S_DAG", GateKind.UNITARY1),
+        GateSpec("X", GateKind.UNITARY1),
+        GateSpec("Y", GateKind.UNITARY1),
+        GateSpec("Z", GateKind.UNITARY1),
+        GateSpec("CX", GateKind.UNITARY2),
+        GateSpec("CZ", GateKind.UNITARY2),
+        GateSpec("SWAP", GateKind.UNITARY2),
+        GateSpec("R", GateKind.RESET),
+        GateSpec("M", GateKind.MEASURE, num_args=1, args_optional=True),
+        GateSpec("DEPOLARIZE1", GateKind.NOISE1, num_args=1),
+        GateSpec("DEPOLARIZE2", GateKind.NOISE2, num_args=1),
+        GateSpec("X_ERROR", GateKind.NOISE1, num_args=1),
+        GateSpec("Y_ERROR", GateKind.NOISE1, num_args=1),
+        GateSpec("Z_ERROR", GateKind.NOISE1, num_args=1),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction: an op name, flat targets, and float args.
+
+    For two-qubit ops the targets are read in consecutive pairs,
+    ``(c0, t0, c1, t1, ...)``; a single instruction can therefore encode a
+    whole parallel layer, which keeps the instruction stream short and the
+    vectorized sampler fast.
+    """
+
+    name: str
+    targets: tuple[int, ...]
+    args: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        spec = GATE_SPECS.get(self.name)
+        if spec is None:
+            raise ValueError(f"unknown instruction {self.name!r}")
+        per_group = spec.targets_per_group
+        if len(self.targets) == 0 or len(self.targets) % per_group != 0:
+            raise ValueError(
+                f"{self.name} needs a positive multiple of {per_group} targets,"
+                f" got {len(self.targets)}"
+            )
+        if spec.kind in (GateKind.UNITARY2, GateKind.NOISE2):
+            for a, b in zip(self.targets[::2], self.targets[1::2]):
+                if a == b:
+                    raise ValueError(f"{self.name} pair targets must differ")
+        if len(self.args) != spec.num_args and not (
+            spec.args_optional and len(self.args) == 0
+        ):
+            raise ValueError(
+                f"{self.name} expects {spec.num_args} args, got {len(self.args)}"
+            )
+        for arg in self.args:
+            if not 0.0 <= arg <= 1.0:
+                raise ValueError(f"{self.name} probability {arg} outside [0, 1]")
+
+    @property
+    def spec(self) -> GateSpec:
+        return GATE_SPECS[self.name]
+
+    @property
+    def kind(self) -> GateKind:
+        return self.spec.kind
+
+    def target_groups(self) -> list[tuple[int, ...]]:
+        """Targets chunked into per-gate groups (pairs for 2-qubit ops)."""
+        per = self.spec.targets_per_group
+        return [tuple(self.targets[i : i + per]) for i in range(0, len(self.targets), per)]
+
+    def __str__(self) -> str:
+        args = f"({', '.join(f'{a:g}' for a in self.args)})" if self.args else ""
+        return f"{self.name}{args} " + " ".join(str(t) for t in self.targets)

@@ -1,0 +1,34 @@
+"""The paper's central abstraction: virtualized logical qubits.
+
+Logical qubits live at *virtual addresses* ``(stack, mode)`` — a 2D stack
+position on the transmon grid plus a cavity-mode index — and are paged
+into the transmon layer for error correction (like DRAM refresh) and for
+logical operations.  This package provides the machine model, the memory
+manager (with the paper's one-free-mode-per-stack invariant), the refresh
+scheduler, and a compiler that schedules logical programs onto the
+machine, choosing between transversal CNOTs (1 timestep, co-located
+qubits) and lattice-surgery CNOTs (6 timesteps, cross-stack).
+"""
+
+from repro.core.addresses import Machine, VirtualAddress
+from repro.core.costs import OperationCosts, DEFAULT_COSTS
+from repro.core.manager import MemoryManager, OutOfMemoryError
+from repro.core.program import LogicalOp, LogicalProgram
+from repro.core.refresh import RefreshScheduler, RefreshViolation
+from repro.core.compiler import CompiledSchedule, ScheduledEvent, compile_program
+
+__all__ = [
+    "CompiledSchedule",
+    "DEFAULT_COSTS",
+    "LogicalOp",
+    "LogicalProgram",
+    "Machine",
+    "MemoryManager",
+    "OperationCosts",
+    "OutOfMemoryError",
+    "RefreshScheduler",
+    "RefreshViolation",
+    "ScheduledEvent",
+    "VirtualAddress",
+    "compile_program",
+]

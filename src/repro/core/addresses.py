@@ -1,0 +1,118 @@
+"""Virtual/physical addressing of the 2.5D machine (§III-A, §III-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.counts import (
+    compact_cavities,
+    compact_transmons,
+    natural_cavities,
+    natural_transmons,
+)
+
+__all__ = ["Machine", "VirtualAddress"]
+
+
+@dataclass(frozen=True)
+class VirtualAddress:
+    """A logical qubit's home: stack grid position + cavity mode index.
+
+    The paper: "A virtual memory address of a logical qubit refers to
+    exactly the pair (transmon patch, index)."
+    """
+
+    stack: tuple[int, int]
+    mode: int
+
+    def __post_init__(self) -> None:
+        if self.mode < 0:
+            raise ValueError("mode index must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.stack}:{self.mode}"
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A 2.5D machine: a grid of stacks, each a d×d patch with k modes.
+
+    Attributes
+    ----------
+    stack_grid:
+        (columns, rows) of stacks available on the transmon grid.
+    cavity_modes:
+        Modes per cavity, k.
+    distance:
+        Code distance of every patch.
+    embedding:
+        ``"natural"`` or ``"compact"`` — determines transmon counts.
+    """
+
+    stack_grid: tuple[int, int] = (2, 2)
+    cavity_modes: int = 10
+    distance: int = 5
+    embedding: str = "compact"
+
+    def __post_init__(self) -> None:
+        if self.embedding not in ("natural", "compact"):
+            raise ValueError("embedding must be 'natural' or 'compact'")
+        if min(self.stack_grid) < 1:
+            raise ValueError("stack grid must be at least 1x1")
+        if self.cavity_modes < 1:
+            raise ValueError("need at least one cavity mode")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_stacks(self) -> int:
+        return self.stack_grid[0] * self.stack_grid[1]
+
+    @property
+    def logical_capacity(self) -> int:
+        """Addressable logical qubits (all modes of all stacks)."""
+        return self.num_stacks * self.cavity_modes
+
+    def stacks(self) -> list[tuple[int, int]]:
+        return [
+            (x, y)
+            for y in range(self.stack_grid[1])
+            for x in range(self.stack_grid[0])
+        ]
+
+    def contains(self, address: VirtualAddress) -> bool:
+        x, y = address.stack
+        return (
+            0 <= x < self.stack_grid[0]
+            and 0 <= y < self.stack_grid[1]
+            and address.mode < self.cavity_modes
+        )
+
+    # ------------------------------------------------------------------
+    # Hardware inventory
+    # ------------------------------------------------------------------
+    @property
+    def transmons_per_stack(self) -> int:
+        if self.embedding == "compact":
+            return compact_transmons(self.distance)
+        return natural_transmons(self.distance)
+
+    @property
+    def cavities_per_stack(self) -> int:
+        if self.embedding == "compact":
+            return compact_cavities(self.distance)
+        return natural_cavities(self.distance)
+
+    @property
+    def total_transmons(self) -> int:
+        return self.num_stacks * self.transmons_per_stack
+
+    @property
+    def total_cavities(self) -> int:
+        return self.num_stacks * self.cavities_per_stack
+
+    @property
+    def total_qubits(self) -> int:
+        return self.total_transmons + self.total_cavities * self.cavity_modes
+
+    def manhattan_distance(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])

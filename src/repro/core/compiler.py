@@ -1,0 +1,280 @@
+"""Compiler/scheduler: logical programs onto the 2.5D machine (§III-D).
+
+The scheduler realizes the paper's key architectural trade-off: a CNOT
+between *co-located* logical qubits (same stack) is transversal and costs
+1 timestep; across stacks it either runs as lattice surgery (6 timesteps,
+occupying both stacks) or as move-then-transversal (2+1 timesteps, if the
+destination stack has a landing mode).  An allocation pre-pass co-locates
+heavily-interacting qubits, and a DRAM-style refresh replay verifies every
+stored qubit keeps getting corrected while the program runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.addresses import Machine
+from repro.core.costs import DEFAULT_COSTS, OperationCosts
+from repro.core.manager import MemoryManager, OutOfMemoryError
+from repro.core.program import LogicalProgram
+from repro.core.refresh import RefreshScheduler
+
+__all__ = ["CompiledSchedule", "ScheduledEvent", "compile_program"]
+
+POLICIES = ("auto", "surgery_only", "transversal_preferred")
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One scheduled logical operation."""
+
+    start: int
+    duration: int
+    name: str
+    qubits: tuple[int, ...]
+    stacks: tuple[tuple[int, int], ...]
+    detail: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+@dataclass
+class CompiledSchedule:
+    """The compiler's output: events, stats and refresh audit."""
+
+    machine: Machine
+    costs: OperationCosts
+    events: list[ScheduledEvent] = field(default_factory=list)
+    total_timesteps: int = 0
+    cnot_transversal: int = 0
+    cnot_surgery: int = 0
+    cnot_with_move: int = 0
+    refresh_violations: int = 0
+    max_staleness: int = 0
+    refresh_rounds: int = 0
+
+    def timeline(self) -> str:
+        """Human-readable schedule dump."""
+        lines = [
+            f"t={e.start:<4d} +{e.duration}  {e.name:<18s}"
+            f" {','.join(f'q{q}' for q in e.qubits):<12s} {e.detail}"
+            for e in sorted(self.events, key=lambda e: (e.start, e.qubits))
+        ]
+        lines.append(f"total: {self.total_timesteps} timesteps")
+        return "\n".join(lines)
+
+    def cnot_breakdown(self) -> dict[str, int]:
+        return {
+            "transversal": self.cnot_transversal,
+            "lattice_surgery": self.cnot_surgery,
+            "move_then_transversal": self.cnot_with_move,
+        }
+
+
+def _colocation_plan(
+    program: LogicalProgram, machine: Machine, capacity: int
+) -> dict[int, tuple[int, int]]:
+    """Preferred stack per qubit: co-locate frequently-interacting qubits.
+
+    Qubits are clustered along the program's CNOTs (clusters capped at the
+    stack's usable modes), then clusters are assigned round-robin over
+    stacks.  This is only a *hint*: allocation itself happens lazily at
+    each ALLOC event so that modes freed by measurements can be reused
+    (resource states streaming through a factory, for example).
+    """
+    cluster_of: dict[int, int] = {}
+    clusters: dict[int, list[int]] = {}
+
+    def ensure(q: int) -> int:
+        if q not in cluster_of:
+            cluster_of[q] = q
+            clusters[q] = [q]
+        return cluster_of[q]
+
+    for op in program.ops:
+        if op.name != "CNOT":
+            continue
+        a, b = op.qubits
+        ca, cb = ensure(a), ensure(b)
+        if ca != cb and len(clusters[ca]) + len(clusters[cb]) <= capacity:
+            for q in clusters[cb]:
+                cluster_of[q] = ca
+            clusters[ca].extend(clusters.pop(cb))
+    for q in program.qubits():
+        ensure(q)
+
+    stacks = machine.stacks()
+    preferred: dict[int, tuple[int, int]] = {}
+    for index, members in enumerate(clusters.values()):
+        stack = stacks[index % len(stacks)]
+        for q in members:
+            preferred[q] = stack
+    return preferred
+
+
+def compile_program(
+    program: LogicalProgram,
+    machine: Machine,
+    costs: OperationCosts = DEFAULT_COSTS,
+    policy: str = "auto",
+    manager: MemoryManager | None = None,
+    insert_refresh: bool = True,
+) -> CompiledSchedule:
+    """Schedule a logical program; returns events, cost and refresh stats.
+
+    Policies
+    --------
+    ``auto``: transversal when co-located; otherwise move-then-transversal
+    when a landing mode exists and it is cheaper, else lattice surgery.
+    ``surgery_only``: the conventional 2D discipline (for comparisons).
+    ``transversal_preferred``: move aggressively to keep CNOTs transversal.
+
+    With ``insert_refresh`` (default) the scheduler periodically yields a
+    stack for one timestep so its stored residents keep meeting the
+    k-timestep correction deadline — §III-D: "we may need to delay some
+    operations in order to ensure stored logical qubits get the required
+    amount of error correction".
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; options: {POLICIES}")
+    manager = manager or MemoryManager(machine)
+    schedule = CompiledSchedule(machine=machine, costs=costs)
+    preferred = _colocation_plan(program, machine, manager.usable_modes_per_stack)
+
+    stack_free_at: dict[tuple[int, int], int] = {s: 0 for s in machine.stacks()}
+    qubit_ready_at: dict[int, int] = {}
+    busy_intervals: list[tuple[int, int, tuple[tuple[int, int], ...]]] = []
+    refresh_debt: dict[tuple[int, int], float] = {s: 0.0 for s in machine.stacks()}
+    # Pay refresh debt slightly ahead of the k-timestep deadline so break
+    # granularity cannot push a resident just past it.
+    deadline = max(1, machine.cavity_modes - 2)
+
+    def maybe_insert_refresh(stacks) -> None:
+        # Debt model: while a stack computes for D timesteps with r stored
+        # residents, it owes r·D/deadline rounds of correction; one free
+        # timestep (d rounds of interleaved extraction) repays `distance`
+        # rounds.  Breaks are inserted as soon as one timestep's worth of
+        # debt accumulates — §III-D's "delay some operations".
+        if not insert_refresh:
+            return
+        for s in stacks:
+            if refresh_debt[s] >= machine.distance:
+                breaks = int(refresh_debt[s] // machine.distance)
+                for _ in range(breaks):
+                    event = ScheduledEvent(
+                        stack_free_at[s], 1, "REFRESH", (), (s,), "background EC"
+                    )
+                    schedule.events.append(event)
+                    stack_free_at[s] = event.end
+                refresh_debt[s] -= breaks * machine.distance
+                # deliberately not added to busy_intervals: the stack is
+                # free for background refresh during these steps.
+
+    def place(name, qubits, stacks, duration, detail="") -> ScheduledEvent:
+        maybe_insert_refresh(stacks)
+        start = max(
+            [stack_free_at[s] for s in stacks]
+            + [qubit_ready_at.get(q, 0) for q in qubits]
+        )
+        event = ScheduledEvent(start, duration, name, tuple(qubits), tuple(stacks), detail)
+        schedule.events.append(event)
+        for s in stacks:
+            stack_free_at[s] = event.end
+            stored = max(0, len(manager.residents(s)) - len(qubits))
+            refresh_debt[s] += duration * stored / deadline
+        for q in qubits:
+            qubit_ready_at[q] = event.end
+        busy_intervals.append((event.start, event.end, tuple(stacks)))
+        return event
+
+    for op in program.ops:
+        if op.name == "ALLOC":
+            q = op.qubits[0]
+            try:
+                manager.allocate(q, preferred_stack=preferred.get(q))
+            except OutOfMemoryError:
+                manager.allocate(q)  # fall back to any stack with room
+            stack = manager.address_of[q].stack
+            place("ALLOC", op.qubits, (stack,), costs.allocate)
+        elif op.name in ("H", "S"):
+            stack = manager.address_of[op.qubits[0]].stack
+            place(op.name, op.qubits, (stack,), costs.single_qubit_clifford)
+        elif op.name in ("X", "Y", "Z"):
+            stack = manager.address_of[op.qubits[0]].stack
+            place(op.name, op.qubits, (stack,), costs.pauli, "pauli frame")
+        elif op.name == "T":
+            stack = manager.address_of[op.qubits[0]].stack
+            # Consuming a distilled |T> costs one surgery-style interaction.
+            place("T", op.qubits, (stack,), costs.single_qubit_clifford, "consumes |T>")
+        elif op.name in ("MEASURE_Z", "MEASURE_X"):
+            q = op.qubits[0]
+            stack = manager.address_of[q].stack
+            place(op.name, op.qubits, (stack,), costs.measure)
+            manager.deallocate(q)  # measurement frees the cavity mode
+        elif op.name == "CNOT":
+            _schedule_cnot(op, manager, costs, policy, place, schedule)
+        else:  # pragma: no cover
+            raise NotImplementedError(op.name)
+
+    schedule.total_timesteps = max((e.end for e in schedule.events), default=0)
+    _replay_refresh(program, manager, schedule, busy_intervals)
+    return schedule
+
+
+def _schedule_cnot(op, manager, costs, policy, place, schedule) -> None:
+    a, b = op.qubits
+    addr_a, addr_b = manager.address_of[a], manager.address_of[b]
+    if manager.co_located(a, b) and policy != "surgery_only":
+        place("CNOT", op.qubits, (addr_a.stack,), costs.transversal_cnot, "transversal")
+        schedule.cnot_transversal += 1
+        return
+
+    move_possible = False
+    if policy in ("auto", "transversal_preferred"):
+        raw_free_b = manager.machine.cavity_modes - len(manager._occupied[addr_b.stack])
+        move_possible = raw_free_b > 0
+    move_cheaper = costs.move + costs.transversal_cnot < costs.lattice_surgery_cnot
+    if move_possible and (move_cheaper or policy == "transversal_preferred"):
+        manager.move(a, addr_b.stack)
+        place(
+            "MOVE",
+            (a,),
+            (addr_a.stack, addr_b.stack),
+            costs.move,
+            f"{addr_a.stack}->{addr_b.stack}",
+        )
+        place("CNOT", op.qubits, (addr_b.stack,), costs.transversal_cnot, "transversal after move")
+        schedule.cnot_with_move += 1
+        return
+
+    place(
+        "CNOT",
+        op.qubits,
+        (addr_a.stack, addr_b.stack),
+        costs.lattice_surgery_cnot,
+        "lattice surgery",
+    )
+    schedule.cnot_surgery += 1
+
+
+def _replay_refresh(program, manager, schedule, busy_intervals) -> None:
+    """Replay the timeline against the refresh scheduler (audit pass)."""
+    refresh = RefreshScheduler(manager)
+    for q in manager.address_of:
+        refresh.track(q)
+    op_ends: dict[int, list[int]] = {}
+    for event in schedule.events:
+        op_ends.setdefault(event.end, []).extend(event.qubits)
+    for t in range(schedule.total_timesteps):
+        busy = set()
+        for start, end, stacks in busy_intervals:
+            if start <= t < end:
+                busy.update(stacks)
+        refresh.tick(busy_stacks=busy)
+        for q in op_ends.get(t + 1, ()):
+            refresh.note_operation([q])
+    schedule.refresh_violations = len(refresh.violations)
+    schedule.max_staleness = refresh.max_staleness_seen
+    schedule.refresh_rounds = sum(refresh.refresh_counts.values())

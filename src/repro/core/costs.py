@@ -1,0 +1,39 @@
+"""Timestep cost model (§III-B, §III-D and Litinski-style accounting).
+
+One *timestep* is d rounds of error correction — the natural clock of
+lattice-surgery architectures.  Values match the paper:
+
+* transversal CNOT: 1 timestep (§III-B, "6x better"),
+* lattice-surgery CNOT: 6 timesteps (Fig. 4: five stages, one of which
+  takes two steps),
+* move: 2 timesteps (grow along the path + shrink, §III-B), or 3 when the
+  qubit must be moved back afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OperationCosts", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class OperationCosts:
+    """Timestep costs of logical operations."""
+
+    transversal_cnot: int = 1
+    lattice_surgery_cnot: int = 6
+    move: int = 2
+    move_round_trip: int = 3
+    single_qubit_clifford: int = 1
+    measure: int = 1
+    allocate: int = 1
+    # Pauli gates are tracked in the classical frame - free.
+    pauli: int = 0
+
+    def cnot_speedup(self) -> float:
+        """The paper's headline 6x."""
+        return self.lattice_surgery_cnot / self.transversal_cnot
+
+
+DEFAULT_COSTS = OperationCosts()

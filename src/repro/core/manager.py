@@ -1,0 +1,148 @@
+"""Memory manager: allocation and paging of virtualized logical qubits.
+
+Implements §III-D's constraints:
+
+* up to k logical qubits per stack, one per cavity mode;
+* **one free mode per stack is reserved** for qubit movement and for the
+  logical ancillas lattice surgery needs ("our architecture and any
+  compiler [must] guarantee one free mode of every stack");
+* at most one logical qubit of a stack can occupy the transmon layer at a
+  time (operations on stack-mates serialize).
+"""
+
+from __future__ import annotations
+
+from repro.core.addresses import Machine, VirtualAddress
+
+__all__ = ["MemoryManager", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """No cavity mode available under the free-mode invariant."""
+
+
+class MemoryManager:
+    """Tracks residency of virtual qubits in the machine's cavities."""
+
+    def __init__(self, machine: Machine, reserve_free_mode: bool = True):
+        self.machine = machine
+        self.reserve_free_mode = reserve_free_mode
+        self.address_of: dict[int, VirtualAddress] = {}
+        self._occupied: dict[tuple[int, int], set[int]] = {
+            stack: set() for stack in machine.stacks()
+        }
+        #: stack -> virtual qubit currently loaded into the transmons
+        self.loaded: dict[tuple[int, int], int | None] = {
+            stack: None for stack in machine.stacks()
+        }
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def usable_modes_per_stack(self) -> int:
+        k = self.machine.cavity_modes
+        return k - 1 if self.reserve_free_mode else k
+
+    def free_modes(self, stack: tuple[int, int]) -> int:
+        return self.usable_modes_per_stack - len(self._occupied[stack])
+
+    def utilization(self) -> float:
+        used = sum(len(v) for v in self._occupied.values())
+        total = self.usable_modes_per_stack * self.machine.num_stacks
+        return used / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(
+        self, qubit: int, preferred_stack: tuple[int, int] | None = None
+    ) -> VirtualAddress:
+        """Place a virtual qubit, preferring the requested stack.
+
+        Falls back to the least-loaded stack so interacting qubits can be
+        co-located by allocating them with the same preference.
+        """
+        if qubit in self.address_of:
+            raise ValueError(f"q{qubit} already allocated at {self.address_of[qubit]}")
+        candidates = []
+        if preferred_stack is not None:
+            if preferred_stack not in self._occupied:
+                raise ValueError(f"no stack at {preferred_stack}")
+            candidates.append(preferred_stack)
+        candidates += sorted(
+            self._occupied, key=lambda s: (len(self._occupied[s]), s)
+        )
+        for stack in candidates:
+            if self.free_modes(stack) > 0:
+                mode = self._first_free_mode(stack)
+                address = VirtualAddress(stack, mode)
+                self._occupied[stack].add(mode)
+                self.address_of[qubit] = address
+                return address
+        raise OutOfMemoryError(
+            f"no free mode for q{qubit} (free-mode invariant"
+            f" {'on' if self.reserve_free_mode else 'off'})"
+        )
+
+    def _first_free_mode(self, stack: tuple[int, int]) -> int:
+        for mode in range(self.machine.cavity_modes):
+            if mode not in self._occupied[stack]:
+                return mode
+        raise OutOfMemoryError(f"stack {stack} is full")
+
+    def deallocate(self, qubit: int) -> None:
+        address = self.address_of.pop(qubit)
+        self._occupied[address.stack].discard(address.mode)
+        if self.loaded[address.stack] == qubit:
+            self.loaded[address.stack] = None
+
+    # ------------------------------------------------------------------
+    # Paging and movement
+    # ------------------------------------------------------------------
+    def load(self, qubit: int) -> None:
+        """Page a qubit into its stack's transmon layer."""
+        address = self.address_of[qubit]
+        resident = self.loaded[address.stack]
+        if resident is not None and resident != qubit:
+            raise RuntimeError(
+                f"stack {address.stack} transmons busy with q{resident}"
+            )
+        self.loaded[address.stack] = qubit
+
+    def store(self, qubit: int) -> None:
+        address = self.address_of[qubit]
+        if self.loaded[address.stack] == qubit:
+            self.loaded[address.stack] = None
+
+    def co_located(self, a: int, b: int) -> bool:
+        return self.address_of[a].stack == self.address_of[b].stack
+
+    def move(self, qubit: int, new_stack: tuple[int, int]) -> VirtualAddress:
+        """Relocate a qubit to another stack (§III-B move operation).
+
+        Requires a raw free mode at the destination; when the free-mode
+        invariant is on, this transiently consumes the reserved channel of
+        the destination stack — exactly the paper's mechanism ("loading
+        this mode along a path when a logical qubit needs to move").
+        """
+        if new_stack not in self._occupied:
+            raise ValueError(f"no stack at {new_stack}")
+        old = self.address_of[qubit]
+        if old.stack == new_stack:
+            return old
+        raw_free = self.machine.cavity_modes - len(self._occupied[new_stack])
+        if raw_free <= 0:
+            raise OutOfMemoryError(f"stack {new_stack} has no landing mode")
+        self.store(qubit)
+        self._occupied[old.stack].discard(old.mode)
+        mode = self._first_free_mode(new_stack)
+        self._occupied[new_stack].add(mode)
+        address = VirtualAddress(new_stack, mode)
+        self.address_of[qubit] = address
+        return address
+
+    def residents(self, stack: tuple[int, int]) -> list[int]:
+        return sorted(
+            q for q, addr in self.address_of.items() if addr.stack == stack
+        )

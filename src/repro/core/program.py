@@ -1,0 +1,132 @@
+"""Logical program IR consumed by the VLQ compiler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LogicalOp", "LogicalProgram"]
+
+_KNOWN_OPS = {
+    "ALLOC": 1,
+    "H": 1,
+    "S": 1,
+    "X": 1,
+    "Y": 1,
+    "Z": 1,
+    "T": 1,  # consumes a magic state
+    "CNOT": 2,
+    "MEASURE_Z": 1,
+    "MEASURE_X": 1,
+}
+
+
+@dataclass(frozen=True)
+class LogicalOp:
+    """One logical operation on virtual qubit ids."""
+
+    name: str
+    qubits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in _KNOWN_OPS:
+            raise ValueError(f"unknown logical op {self.name!r}")
+        if len(self.qubits) != _KNOWN_OPS[self.name]:
+            raise ValueError(
+                f"{self.name} takes {_KNOWN_OPS[self.name]} operand(s),"
+                f" got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError("operands must be distinct")
+
+    def __str__(self) -> str:
+        return f"{self.name} " + " ".join(f"q{q}" for q in self.qubits)
+
+
+class LogicalProgram:
+    """A straight-line logical program (builder-style API)."""
+
+    def __init__(self) -> None:
+        self.ops: list[LogicalOp] = []
+        self._allocated: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def alloc(self, *qubits: int) -> "LogicalProgram":
+        for q in qubits:
+            if q in self._allocated:
+                raise ValueError(f"q{q} already allocated")
+            self._allocated.add(q)
+            self.ops.append(LogicalOp("ALLOC", (q,)))
+        return self
+
+    def _require(self, *qubits: int) -> None:
+        for q in qubits:
+            if q not in self._allocated:
+                raise ValueError(f"q{q} used before ALLOC")
+
+    def h(self, q: int) -> "LogicalProgram":
+        self._require(q)
+        self.ops.append(LogicalOp("H", (q,)))
+        return self
+
+    def s(self, q: int) -> "LogicalProgram":
+        self._require(q)
+        self.ops.append(LogicalOp("S", (q,)))
+        return self
+
+    def x(self, q: int) -> "LogicalProgram":
+        self._require(q)
+        self.ops.append(LogicalOp("X", (q,)))
+        return self
+
+    def z(self, q: int) -> "LogicalProgram":
+        self._require(q)
+        self.ops.append(LogicalOp("Z", (q,)))
+        return self
+
+    def t(self, q: int) -> "LogicalProgram":
+        self._require(q)
+        self.ops.append(LogicalOp("T", (q,)))
+        return self
+
+    def cnot(self, control: int, target: int) -> "LogicalProgram":
+        self._require(control, target)
+        self.ops.append(LogicalOp("CNOT", (control, target)))
+        return self
+
+    def measure_z(self, q: int) -> "LogicalProgram":
+        self._require(q)
+        self.ops.append(LogicalOp("MEASURE_Z", (q,)))
+        return self
+
+    def measure_x(self, q: int) -> "LogicalProgram":
+        self._require(q)
+        self.ops.append(LogicalOp("MEASURE_X", (q,)))
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return len(self._allocated)
+
+    def qubits(self) -> list[int]:
+        return sorted(self._allocated)
+
+    def cnot_count(self) -> int:
+        return sum(1 for op in self.ops if op.name == "CNOT")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __str__(self) -> str:
+        return "\n".join(str(op) for op in self.ops)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def ghz(n: int) -> "LogicalProgram":
+        """H + CNOT chain preparing an n-qubit GHZ state."""
+        program = LogicalProgram()
+        program.alloc(*range(n))
+        program.h(0)
+        for i in range(n - 1):
+            program.cnot(i, i + 1)
+        return program

@@ -1,0 +1,108 @@
+"""DRAM-style refresh scheduling of stored logical qubits (§III-D).
+
+"Even though the logical qubits are stored in memory, they are still
+subject to errors and it is critical that every logical qubit be error
+corrected regularly. ... every logical qubit of a stack will be roughly
+guaranteed to get a round of correction every k time steps."
+
+Each timestep, every stack that is not busy executing a logical operation
+refreshes its *stalest* resident (load → one round of syndrome extraction
+→ store).  Qubits participating in logical operations are refreshed as a
+side effect (operations include error correction).  The scheduler records
+the staleness high-water mark and flags deadline violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.manager import MemoryManager
+
+__all__ = ["RefreshScheduler", "RefreshViolation"]
+
+
+@dataclass(frozen=True)
+class RefreshViolation:
+    """A logical qubit exceeded its refresh deadline."""
+
+    qubit: int
+    timestep: int
+    staleness: int
+
+
+@dataclass
+class RefreshScheduler:
+    """Round-robin (stalest-first) refresh over each stack's residents.
+
+    Parameters
+    ----------
+    manager:
+        The memory manager whose residents are refreshed.
+    deadline:
+        Maximum allowed timesteps between refreshes; defaults to k, the
+        steady-state guarantee of Interleaved extraction.
+    """
+
+    manager: MemoryManager
+    deadline: int | None = None
+    now: int = 0
+    last_refresh: dict[int, int] = field(default_factory=dict)
+    refresh_counts: dict[int, int] = field(default_factory=dict)
+    violations: list[RefreshViolation] = field(default_factory=list)
+    max_staleness_seen: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline is None:
+            self.deadline = self.manager.machine.cavity_modes
+
+    # ------------------------------------------------------------------
+    def track(self, qubit: int) -> None:
+        """Start tracking a (newly allocated) qubit; counts as fresh."""
+        self.last_refresh[qubit] = self.now
+        self.refresh_counts.setdefault(qubit, 0)
+
+    def untrack(self, qubit: int) -> None:
+        self.last_refresh.pop(qubit, None)
+
+    def note_operation(self, qubits: list[int]) -> None:
+        """Logical ops error-correct their operands as they run."""
+        for q in qubits:
+            if q in self.last_refresh:
+                self.last_refresh[q] = self.now
+
+    def staleness(self, qubit: int) -> int:
+        return self.now - self.last_refresh[qubit]
+
+    # ------------------------------------------------------------------
+    def tick(self, busy_stacks: set[tuple[int, int]] = frozenset()) -> list[int]:
+        """Advance one timestep; returns the qubits refreshed.
+
+        ``busy_stacks`` are executing logical operations this step and
+        cannot run background refresh.  A free timestep is d rounds of
+        interleaved extraction, so up to ``distance`` stored residents get
+        their round of correction (§III-D needs only one round per qubit
+        per deadline window).
+        """
+        self.now += 1
+        per_tick = self.manager.machine.distance
+        refreshed = []
+        for stack in self.manager.machine.stacks():
+            if stack in busy_stacks:
+                continue
+            residents = [
+                q for q in self.manager.residents(stack) if q in self.last_refresh
+            ]
+            residents.sort(key=self.staleness, reverse=True)
+            for stalest in residents[:per_tick]:
+                if self.staleness(stalest) > 0:
+                    self.last_refresh[stalest] = self.now
+                    self.refresh_counts[stalest] = (
+                        self.refresh_counts.get(stalest, 0) + 1
+                    )
+                    refreshed.append(stalest)
+        for q in self.last_refresh:
+            s = self.staleness(q)
+            self.max_staleness_seen = max(self.max_staleness_seen, s)
+            if s > self.deadline:
+                self.violations.append(RefreshViolation(q, self.now, s))
+        return refreshed

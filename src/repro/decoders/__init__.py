@@ -1,0 +1,21 @@
+"""Decoders for the surface code: matching graphs, MWPM and union-find."""
+
+from repro.decoders.graph import DecodingEdge, MatchingGraph
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.unionfind import UnionFindDecoder
+
+__all__ = ["DecodingEdge", "MatchingGraph", "MWPMDecoder", "UnionFindDecoder"]
+
+DECODERS = {
+    "mwpm": MWPMDecoder,
+    "unionfind": UnionFindDecoder,
+}
+
+
+def make_decoder(name: str, graph: MatchingGraph):
+    """Instantiate a decoder by name (``"mwpm"`` or ``"unionfind"``)."""
+    try:
+        cls = DECODERS[name]
+    except KeyError:
+        raise ValueError(f"unknown decoder {name!r}; options: {sorted(DECODERS)}")
+    return cls(graph)

@@ -1,0 +1,182 @@
+"""Decoding (matching) graph construction from a detector error model.
+
+Nodes are the detectors of one basis; a virtual *boundary* node absorbs
+single-detector mechanisms.  Edge weights are the usual log-likelihood
+ratios ``ln((1−p)/p)`` so that minimum-weight matching maximizes the
+likelihood of the correction.
+
+Mechanisms flipping more than two detectors (e.g. ancilla hook faults whose
+propagated data errors fire checks in later rounds) are *decomposed* into
+chains of known two-detector edges, mirroring what stim/pymatching do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dem.model import DetectorErrorModel, FaultMechanism
+
+__all__ = ["DecodingEdge", "MatchingGraph"]
+
+_MIN_P = 1e-15
+_MAX_P = 0.5 - 1e-12
+
+
+def probability_to_weight(p: float) -> float:
+    """Log-likelihood weight of an error mechanism with probability p."""
+    p = min(max(p, _MIN_P), _MAX_P)
+    return math.log((1.0 - p) / p)
+
+
+def _xor_probability(a: float, b: float) -> float:
+    return a + b - 2.0 * a * b
+
+
+@dataclass
+class DecodingEdge:
+    """An edge of the matching graph.
+
+    ``v == boundary`` (the node index equal to ``num_detectors``) marks a
+    boundary edge.  ``observables`` is a bitmask over the basis's logical
+    observables flipped when this edge is part of the correction.
+    """
+
+    u: int
+    v: int
+    probability: float
+    observables: int = 0
+
+    @property
+    def weight(self) -> float:
+        return probability_to_weight(self.probability)
+
+
+class MatchingGraph:
+    """Matching graph over the detectors of one basis."""
+
+    def __init__(self, num_detectors: int, basis: str):
+        self.num_detectors = num_detectors
+        self.basis = basis
+        self.boundary = num_detectors
+        self.edges: list[DecodingEdge] = []
+        self._edge_index: dict[tuple[int, int], int] = {}
+        #: probability of logical errors invisible to the decoder
+        self.undetectable_probability: float = 0.0
+        #: mechanisms that had to be decomposed (diagnostics)
+        self.decomposed_mechanisms: int = 0
+        self.detector_coords: list[tuple[float, ...]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dem(cls, dem: DetectorErrorModel, basis: str) -> "MatchingGraph":
+        faults = dem.projected(basis)
+        num = len(dem.basis_detectors(basis))
+        graph = cls(num, basis)
+        graph.detector_coords = [
+            dem.detector_coords[i] for i in dem.basis_detectors(basis)
+        ]
+        deferred: list[FaultMechanism] = []
+        for fault in faults:
+            obs_mask = 0
+            for j in fault.observables:
+                obs_mask |= 1 << j
+            if len(fault.detectors) == 0:
+                if obs_mask:
+                    graph.undetectable_probability = _xor_probability(
+                        graph.undetectable_probability, fault.probability
+                    )
+            elif len(fault.detectors) == 1:
+                graph.add_edge(
+                    fault.detectors[0], graph.boundary, fault.probability, obs_mask
+                )
+            elif len(fault.detectors) == 2:
+                graph.add_edge(*fault.detectors, fault.probability, obs_mask)
+            else:
+                deferred.append(fault)
+        for fault in deferred:
+            graph._decompose(fault)
+        return graph
+
+    def add_edge(self, u: int, v: int, probability: float, observables: int) -> None:
+        """Insert or XOR-merge an edge.
+
+        Merging keeps the observable mask of the heavier mechanism (the
+        standard pymatching convention for rare conflicting parallel edges).
+        """
+        if u == v:
+            raise ValueError("self-loop edge")
+        key = (min(u, v), max(u, v))
+        index = self._edge_index.get(key)
+        if index is None:
+            self._edge_index[key] = len(self.edges)
+            self.edges.append(DecodingEdge(key[0], key[1], probability, observables))
+            return
+        edge = self.edges[index]
+        if probability > edge.probability:
+            edge.observables = observables
+        edge.probability = _xor_probability(edge.probability, probability)
+
+    def _decompose(self, fault: FaultMechanism) -> None:
+        """Split a >2-detector mechanism into known edges plus remainder.
+
+        Greedy: repeatedly extract detector pairs that already form an edge;
+        remaining singletons become boundary edges.  Each component inherits
+        the full mechanism probability (conservative, slightly overweights).
+        The observable mask rides on the first extracted component.
+        """
+        self.decomposed_mechanisms += 1
+        remaining = list(fault.detectors)
+        obs_mask = 0
+        for j in fault.observables:
+            obs_mask |= 1 << j
+        placed_obs = False
+        while remaining:
+            pair = None
+            for i in range(len(remaining)):
+                for j in range(i + 1, len(remaining)):
+                    key = (min(remaining[i], remaining[j]), max(remaining[i], remaining[j]))
+                    if key in self._edge_index:
+                        pair = (i, j)
+                        break
+                if pair:
+                    break
+            if pair:
+                i, j = pair
+                u, v = remaining[i], remaining[j]
+                remaining = [d for idx, d in enumerate(remaining) if idx not in (i, j)]
+            elif len(remaining) >= 2:
+                u, v = remaining[0], remaining[1]
+                remaining = remaining[2:]
+            else:
+                u, v = remaining[0], self.boundary
+                remaining = []
+            self.add_edge(u, v, fault.probability, 0 if placed_obs else obs_mask)
+            placed_obs = True
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def neighbors(self) -> dict[int, list[int]]:
+        """Adjacency: node -> incident edge indices (boundary included)."""
+        adj: dict[int, list[int]] = {i: [] for i in range(self.num_detectors + 1)}
+        for index, edge in enumerate(self.edges):
+            adj[edge.u].append(index)
+            adj[edge.v].append(index)
+        return adj
+
+    def edge_between(self, u: int, v: int) -> DecodingEdge | None:
+        index = self._edge_index.get((min(u, v), max(u, v)))
+        return None if index is None else self.edges[index]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"MatchingGraph(basis={self.basis}, detectors={self.num_detectors},"
+            f" edges={self.num_edges})"
+        )

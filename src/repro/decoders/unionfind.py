@@ -1,0 +1,186 @@
+"""Weighted union-find decoder (Delfosse–Nickerson), the fast default.
+
+Clusters grow outward from detection events in integer half-edge units
+(edge lengths are the log-likelihood weights, discretized); odd clusters
+keep growing until they merge with another odd cluster or touch the
+boundary, after which the grown support is *peeled*: a spanning forest is
+built over fully-grown edges and leaf edges are included in the correction
+exactly when they resolve an unmatched event.  Near-MWPM accuracy at a
+fraction of the cost — the property tests compare it against MWPM directly.
+"""
+
+from __future__ import annotations
+
+from repro.decoders.graph import MatchingGraph
+
+__all__ = ["UnionFindDecoder"]
+
+_MAX_GROWTH_ROUNDS = 1_000_000
+
+
+class _DSU:
+    """Union-find over lazily-touched nodes with cluster metadata."""
+
+    def __init__(self) -> None:
+        self.parent: dict[int, int] = {}
+        self.parity: dict[int, int] = {}
+        self.boundary: dict[int, bool] = {}
+        self.frontier: dict[int, list[int]] = {}
+
+    def add(self, node: int, parity: int, is_boundary: bool, frontier: list[int]) -> None:
+        if node not in self.parent:
+            self.parent[node] = node
+            self.parity[node] = parity
+            self.boundary[node] = is_boundary
+            self.frontier[node] = frontier
+
+    def find(self, node: int) -> int:
+        root = node
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[node] != root:
+            self.parent[node], node = root, self.parent[node]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if len(self.frontier[ra]) < len(self.frontier[rb]):
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.parity[ra] ^= self.parity[rb]
+        self.boundary[ra] |= self.boundary[rb]
+        self.frontier[ra].extend(self.frontier[rb])
+        return ra
+
+
+class UnionFindDecoder:
+    """Weighted union-find decoding on a :class:`MatchingGraph`."""
+
+    def __init__(self, graph: MatchingGraph, resolution: int = 16, max_units: int = 4096):
+        """``resolution`` growth units per minimum edge weight.
+
+        Too-coarse discretization collapses distinct weights onto the same
+        integer length and measurably degrades accuracy; 16 units keeps the
+        weight ratios of realistic circuit-level graphs (~1–4×) faithful.
+        """
+        self.graph = graph
+        self.boundary_node = graph.boundary
+        weights = [e.weight for e in graph.edges if e.weight > 0]
+        if weights:
+            unit = min(weights) / float(resolution)
+        else:
+            unit = 1.0
+        self.lengths = [
+            max(1, min(max_units, round(e.weight / unit))) for e in graph.edges
+        ]
+        self.adjacency: dict[int, list[int]] = graph.neighbors()
+
+    # ------------------------------------------------------------------
+    def decode(self, events: list[int]) -> int:
+        """Predicted observable-flip mask for the given detection events."""
+        if not events:
+            return 0
+        dsu = _DSU()
+        growth: dict[int, int] = {}
+        for event in events:
+            dsu.add(event, parity=1, is_boundary=False, frontier=list(self.adjacency[event]))
+
+        def active_roots() -> list[int]:
+            roots = {dsu.find(n) for n in list(dsu.parent)}
+            return [r for r in roots if dsu.parity[r] == 1 and not dsu.boundary[r]]
+
+        rounds = 0
+        while True:
+            active = active_roots()
+            if not active:
+                break
+            rounds += 1
+            if rounds > _MAX_GROWTH_ROUNDS:  # pragma: no cover - safety valve
+                raise RuntimeError("union-find growth failed to terminate")
+            merges: list[int] = []
+            for root in active:
+                kept: list[int] = []
+                for edge_id in dsu.frontier[root]:
+                    edge = self.graph.edges[edge_id]
+                    u_in = edge.u in dsu.parent and dsu.find(edge.u) == root
+                    v_in = edge.v in dsu.parent and dsu.find(edge.v) == root
+                    if u_in and v_in:
+                        continue  # became internal after an earlier merge
+                    growth[edge_id] = growth.get(edge_id, 0) + 1
+                    if growth[edge_id] >= self.lengths[edge_id]:
+                        merges.append(edge_id)
+                    else:
+                        kept.append(edge_id)
+                dsu.frontier[root] = kept
+            for edge_id in merges:
+                edge = self.graph.edges[edge_id]
+                for node in (edge.u, edge.v):
+                    if node not in dsu.parent:
+                        dsu.add(
+                            node,
+                            parity=0,
+                            is_boundary=(node == self.boundary_node),
+                            frontier=[
+                                e
+                                for e in self.adjacency[node]
+                                if growth.get(e, 0) < self.lengths[e]
+                            ],
+                        )
+                dsu.union(edge.u, edge.v)
+
+        return self._peel(events, dsu, growth)
+
+    # ------------------------------------------------------------------
+    def _peel(self, events: list[int], dsu: _DSU, growth: dict[int, int]) -> int:
+        """Peeling pass over the grown support; returns the observable mask."""
+        support = [
+            edge_id
+            for edge_id, amount in growth.items()
+            if amount >= self.lengths[edge_id]
+        ]
+        support_adj: dict[int, list[int]] = {}
+        for edge_id in support:
+            edge = self.graph.edges[edge_id]
+            support_adj.setdefault(edge.u, []).append(edge_id)
+            support_adj.setdefault(edge.v, []).append(edge_id)
+
+        flagged = set(events)
+        visited: set[int] = set()
+        prediction = 0
+
+        nodes = list(support_adj)
+        # Roots: prefer the boundary node so leftover parity drains into it.
+        roots = [self.boundary_node] if self.boundary_node in support_adj else []
+        roots += [n for n in nodes if n != self.boundary_node]
+        for root in roots:
+            if root in visited:
+                continue
+            visited.add(root)
+            order: list[tuple[int, int, int]] = []  # (node, parent, edge_id)
+            stack = [root]
+            parent_of: dict[int, tuple[int, int]] = {}
+            while stack:
+                u = stack.pop()
+                for edge_id in support_adj.get(u, ()):
+                    edge = self.graph.edges[edge_id]
+                    v = edge.v if edge.u == u else edge.u
+                    if v in visited:
+                        continue
+                    visited.add(v)
+                    parent_of[v] = (u, edge_id)
+                    order.append((v, u, edge_id))
+                    stack.append(v)
+            # Peel leaves first (reverse discovery order).
+            for node, parent, edge_id in reversed(order):
+                if node in flagged:
+                    flagged.discard(node)
+                    if parent in flagged:
+                        flagged.discard(parent)
+                    elif parent != self.boundary_node:
+                        flagged.add(parent)
+                    prediction ^= self.graph.edges[edge_id].observables
+        if flagged:  # pragma: no cover - parity invariant violated
+            raise RuntimeError(f"peeling left unmatched events: {sorted(flagged)}")
+        return prediction

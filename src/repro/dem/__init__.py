@@ -1,0 +1,13 @@
+"""Detector error model (DEM) extraction.
+
+Converts a noisy circuit into the list of *fault mechanisms*: for every
+elementary Pauli fault the circuit can suffer, the set of detectors and
+logical observables it flips, with probabilities XOR-combined across
+mechanisms with identical symptoms.  Decoding graphs are built from this —
+the decoder is therefore exactly matched to the simulated error model.
+"""
+
+from repro.dem.model import DetectorErrorModel, FaultMechanism
+from repro.dem.sensitivity import extract_fault_mechanisms
+
+__all__ = ["DetectorErrorModel", "FaultMechanism", "extract_fault_mechanisms"]

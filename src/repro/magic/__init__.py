@@ -1,0 +1,33 @@
+"""Magic-state distillation resource analysis (§VII, Fig. 13, Table II)."""
+
+from repro.magic.protocols import (
+    FAST_LATTICE,
+    PROTOCOLS,
+    SMALL_LATTICE,
+    VQUBITS,
+    FactoryProtocol,
+)
+from repro.magic.rates import (
+    generation_rate,
+    patches_for_one_state_per_step,
+    speedup_over,
+)
+from repro.magic.resources import qubit_cost_table
+from repro.magic.distill import (
+    fifteen_to_one_program,
+    vqubits_distillation_schedule,
+)
+
+__all__ = [
+    "FAST_LATTICE",
+    "FactoryProtocol",
+    "PROTOCOLS",
+    "SMALL_LATTICE",
+    "VQUBITS",
+    "fifteen_to_one_program",
+    "generation_rate",
+    "patches_for_one_state_per_step",
+    "qubit_cost_table",
+    "speedup_over",
+    "vqubits_distillation_schedule",
+]

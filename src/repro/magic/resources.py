@@ -1,0 +1,70 @@
+"""Qubit costs of each factory (Table II), at d = 5 and in general."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.counts import (
+    compact_transmons,
+    lattice_tiles_transmons,
+    natural_cavities,
+    natural_transmons,
+    total_qubits,
+)
+from repro.magic.protocols import FAST_LATTICE, SMALL_LATTICE
+
+__all__ = ["FactoryCost", "qubit_cost_table"]
+
+
+@dataclass(frozen=True)
+class FactoryCost:
+    """One row of Table II."""
+
+    protocol: str
+    transmons: int
+    cavities: int
+    cavity_modes: int
+
+    @property
+    def total(self) -> int:
+        return total_qubits(self.transmons, self.cavities, self.cavity_modes)
+
+    def row(self) -> tuple[str, int, str, int]:
+        cavity_text = str(self.cavities) if self.cavities else "-"
+        return (self.protocol, self.transmons, cavity_text, self.total)
+
+
+def qubit_cost_table(distance: int = 5, cavity_modes: int = 10) -> list[FactoryCost]:
+    """Table II: transmon / cavity / total qubit costs per factory.
+
+    Fast and Small are conventional 2D blocks (tiles × 2d² − 1 transmons,
+    no cavities).  VQubits uses one stack: Natural keeps separate ancilla
+    transmons (2d²−1), Compact merges them (d²+d−1); both attach d²
+    depth-k cavities.
+    """
+    return [
+        FactoryCost(
+            "Fast Lattice",
+            lattice_tiles_transmons(FAST_LATTICE.patches_per_block, distance),
+            0,
+            cavity_modes,
+        ),
+        FactoryCost(
+            "Small Lattice",
+            lattice_tiles_transmons(SMALL_LATTICE.patches_per_block, distance),
+            0,
+            cavity_modes,
+        ),
+        FactoryCost(
+            "VQubits (natural)",
+            natural_transmons(distance),
+            natural_cavities(distance),
+            cavity_modes,
+        ),
+        FactoryCost(
+            "VQubits (compact)",
+            compact_transmons(distance),
+            natural_cavities(distance),
+            cavity_modes,
+        ),
+    ]

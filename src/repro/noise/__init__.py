@@ -1,0 +1,18 @@
+"""Hardware model and error rates (paper Table I and §IV-A)."""
+
+from repro.noise.parameters import (
+    BASELINE_HARDWARE,
+    HardwareParams,
+    MEMORY_HARDWARE,
+    REFERENCE_PHYSICAL_ERROR,
+)
+from repro.noise.model import ErrorModel, storage_error_probability
+
+__all__ = [
+    "BASELINE_HARDWARE",
+    "ErrorModel",
+    "HardwareParams",
+    "MEMORY_HARDWARE",
+    "REFERENCE_PHYSICAL_ERROR",
+    "storage_error_probability",
+]

@@ -1,0 +1,138 @@
+"""The circuit-level error model of §IV-A.
+
+All errors are Pauli (the paper's own worst-case simplification of coherence
+errors).  A single knob ``p`` — the SC-SC two-qubit gate error — drives the
+whole model: every gate-type error defaults to ``p`` ("we consider the same
+potential gate error rates for each of these devices") and coherence times
+scale inversely with ``p`` relative to the reference operating point
+2×10⁻³ ("we vary all gate errors and coherence times together, all derived
+from a single probability of error p").
+
+Individual knobs can be overridden for the §VI sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.noise.parameters import (
+    HardwareParams,
+    MEMORY_HARDWARE,
+    REFERENCE_PHYSICAL_ERROR,
+)
+
+__all__ = ["ErrorModel", "storage_error_probability"]
+
+
+def storage_error_probability(duration: float, t1: float) -> float:
+    """λ = 1 − exp(−Δt/T1): probability of a Pauli storage error.
+
+    Matches §IV-A; the resulting error is applied as a uniform single-qubit
+    depolarizing channel.
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    if duration == 0:
+        return 0.0
+    if t1 <= 0:
+        raise ValueError("T1 must be positive")
+    return 1.0 - math.exp(-duration / t1)
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Error rates + timing for building noisy circuits.
+
+    Parameters
+    ----------
+    hardware:
+        Device timing/coherence constants (Table I).
+    p:
+        The master physical error rate (SC-SC two-qubit gate error).
+    scale_coherence:
+        When True (the paper's threshold experiments), effective coherence
+        times are ``T1 × (p_ref / p)`` so that storage errors improve in
+        lock-step with gate errors.  Sensitivity studies pin T1 instead.
+    p_1q, p_2q, p_tm, p_ls, p_meas, p_reset:
+        Optional per-source overrides; default to ``p``.
+    t1_transmon_override, t1_cavity_override:
+        Optional coherence-time overrides (already-effective values, no
+        further scaling applied).
+    """
+
+    hardware: HardwareParams = field(default=MEMORY_HARDWARE)
+    p: float = REFERENCE_PHYSICAL_ERROR
+    scale_coherence: bool = True
+    p_1q: float | None = None
+    p_2q: float | None = None
+    p_tm: float | None = None
+    p_ls: float | None = None
+    p_meas: float | None = None
+    p_reset: float | None = None
+    t1_transmon_override: float | None = None
+    t1_cavity_override: float | None = None
+
+    def with_(self, **changes) -> "ErrorModel":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Effective rates
+    # ------------------------------------------------------------------
+    @property
+    def one_qubit_error(self) -> float:
+        return self.p if self.p_1q is None else self.p_1q
+
+    @property
+    def two_qubit_error(self) -> float:
+        """SC-SC (transmon-transmon) gate error."""
+        return self.p if self.p_2q is None else self.p_2q
+
+    @property
+    def transmon_mode_error(self) -> float:
+        """SC-mode (transmon-cavity) gate error."""
+        return self.p if self.p_tm is None else self.p_tm
+
+    @property
+    def load_store_error(self) -> float:
+        return self.p if self.p_ls is None else self.p_ls
+
+    @property
+    def measure_error(self) -> float:
+        return self.p if self.p_meas is None else self.p_meas
+
+    @property
+    def reset_error(self) -> float:
+        return self.p if self.p_reset is None else self.p_reset
+
+    @property
+    def coherence_scale(self) -> float:
+        if not self.scale_coherence or self.p == 0:
+            return 1.0
+        return REFERENCE_PHYSICAL_ERROR / self.p
+
+    @property
+    def t1_transmon(self) -> float:
+        if self.t1_transmon_override is not None:
+            return self.t1_transmon_override
+        return self.hardware.t1_transmon * self.coherence_scale
+
+    @property
+    def t1_cavity(self) -> float:
+        if self.t1_cavity_override is not None:
+            return self.t1_cavity_override
+        if self.hardware.t1_cavity is None:
+            raise ValueError("hardware model has no cavity memory")
+        return self.hardware.t1_cavity * self.coherence_scale
+
+    # ------------------------------------------------------------------
+    # Idle errors
+    # ------------------------------------------------------------------
+    def transmon_idle_error(self, duration: float) -> float:
+        """Storage error for ``duration`` spent idle on a transmon."""
+        return storage_error_probability(duration, self.t1_transmon)
+
+    def cavity_idle_error(self, duration: float) -> float:
+        """Storage error for ``duration`` spent idle in a cavity mode."""
+        return storage_error_probability(duration, self.t1_cavity)

@@ -1,0 +1,111 @@
+"""Hardware parameters from Table I of the paper.
+
+Two device models: a baseline transmon-only 2D device and the 2.5D
+transmon-with-memory device.  Durations are in seconds.
+
+The paper's Table I leaves reset and measurement durations unspecified (it
+assumes efficient active reset and instantaneous classical processing); we
+pin typical transmon values and expose them as ordinary fields so
+sensitivity studies can vary them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "HardwareParams",
+    "BASELINE_HARDWARE",
+    "MEMORY_HARDWARE",
+    "REFERENCE_PHYSICAL_ERROR",
+]
+
+#: Operating point used by the paper's sensitivity studies (§VI): "the
+#: physical error rates of all but a single error source are fixed at a
+#: typical operating point below the threshold obtained previously, 2e-3".
+REFERENCE_PHYSICAL_ERROR = 2e-3
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Device timing and coherence constants (Table I).
+
+    Attributes
+    ----------
+    t1_transmon:
+        Transmon coherence time ``T1,t``.
+    t1_cavity:
+        Cavity-mode coherence time ``T1,c`` (``None`` for devices without
+        memory, i.e. the baseline).
+    t_gate_2q:
+        Transmon–transmon two-qubit gate time ``Δt−t``.
+    t_gate_1q:
+        Single-qubit gate time ``Δt``.
+    t_gate_tm:
+        Transmon–mode two-qubit gate time ``Δt−m`` (memory devices only).
+    t_load_store:
+        Load/store (transmon-mediated iSWAP) time ``Δl/s``.
+    t_measure, t_reset:
+        Readout and active-reset durations (not in Table I; typical values).
+    cavity_modes:
+        Number of resonant modes per cavity, ``k`` (the paper evaluates
+        ``k = 10`` and studies sensitivity up to ~30; §VI argues benefit
+        vanishes near ``k ≈ 150``).
+    """
+
+    t1_transmon: float = 100e-6
+    t1_cavity: float | None = None
+    t_gate_2q: float = 200e-9
+    t_gate_1q: float = 50e-9
+    t_gate_tm: float | None = None
+    t_load_store: float | None = None
+    t_measure: float = 300e-9
+    t_reset: float = 100e-9
+    cavity_modes: int = 0
+
+    @property
+    def has_memory(self) -> bool:
+        return self.t1_cavity is not None
+
+    def with_(self, **changes) -> "HardwareParams":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def table_rows(self) -> list[tuple[str, str]]:
+        """Rows for reproducing Table I."""
+
+        def fmt(value: float | None, unit_scale: float, unit: str) -> str:
+            if value is None:
+                return "-"
+            return f"{value / unit_scale:g} {unit}"
+
+        return [
+            ("T1,t", fmt(self.t1_transmon, 1e-6, "us")),
+            ("T1,c", fmt(self.t1_cavity, 1e-3, "ms")),
+            ("dt-t", fmt(self.t_gate_2q, 1e-9, "ns")),
+            ("dt", fmt(self.t_gate_1q, 1e-9, "ns")),
+            ("dt-m", fmt(self.t_gate_tm, 1e-9, "ns")),
+            ("dl/s", fmt(self.t_load_store, 1e-9, "ns")),
+        ]
+
+
+#: Table I, "Baseline Transmons" column.
+BASELINE_HARDWARE = HardwareParams(
+    t1_transmon=100e-6,
+    t1_cavity=None,
+    t_gate_2q=200e-9,
+    t_gate_1q=50e-9,
+    t_gate_tm=None,
+    t_load_store=None,
+)
+
+#: Table I, "Transmons with Memory" column (k = 10 per §IV-B).
+MEMORY_HARDWARE = HardwareParams(
+    t1_transmon=100e-6,
+    t1_cavity=1e-3,
+    t_gate_2q=200e-9,
+    t_gate_1q=50e-9,
+    t_gate_tm=200e-9,
+    t_load_store=150e-9,
+    cavity_modes=10,
+)

@@ -1,0 +1,247 @@
+"""Pauli algebra over n qubits in symplectic (binary) representation.
+
+This module is the foundation of the whole reproduction: stabilizer rows,
+Pauli-frame errors, detector sensitivities and logical operators are all
+instances of :class:`PauliString`.
+
+Representation
+--------------
+An n-qubit Pauli is stored as two boolean vectors ``xs`` and ``zs`` plus a
+global phase exponent ``phase`` (power of ``i``, mod 4)::
+
+    P = i**phase * prod_j  X_j**xs[j] * Z_j**zs[j]
+
+with the per-qubit convention that the *letter* Y corresponds to
+``(x=1, z=1)`` **including** its ``i`` factor, i.e. ``Y = i * X Z``.  When a
+Pauli is built from a letter string such as ``"XYZ"``, each ``Y`` therefore
+contributes ``+1`` to the phase exponent internally, and the letter string
+printed back out re-absorbs those factors so round-tripping is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["PauliString", "pauli_x", "pauli_y", "pauli_z", "identity"]
+
+_LETTER_TO_BITS = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_BITS_TO_LETTER = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+_PHASE_PREFIX = {0: "+", 1: "+i", 2: "-", 3: "-i"}
+
+
+class PauliString:
+    """An n-qubit Pauli operator with phase, in symplectic form.
+
+    Parameters
+    ----------
+    xs, zs:
+        Boolean arrays of length n (the X and Z parts).
+    phase:
+        Exponent of ``i`` in the global phase, modulo 4.
+    """
+
+    __slots__ = ("xs", "zs", "phase")
+
+    def __init__(
+        self,
+        xs: Sequence[bool] | np.ndarray,
+        zs: Sequence[bool] | np.ndarray,
+        phase: int = 0,
+    ) -> None:
+        self.xs = np.asarray(xs, dtype=bool).copy()
+        self.zs = np.asarray(zs, dtype=bool).copy()
+        if self.xs.shape != self.zs.shape or self.xs.ndim != 1:
+            raise ValueError("xs and zs must be 1-D arrays of equal length")
+        self.phase = int(phase) % 4
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity(num_qubits: int) -> "PauliString":
+        """The identity Pauli on ``num_qubits`` qubits."""
+        zeros = np.zeros(num_qubits, dtype=bool)
+        return PauliString(zeros, zeros, 0)
+
+    @staticmethod
+    def from_string(letters: str, sign: complex = 1) -> "PauliString":
+        """Build a Pauli from a letter string such as ``"XIZY"``.
+
+        ``sign`` may be any of ``1, -1, 1j, -1j``.
+        """
+        n = len(letters)
+        xs = np.zeros(n, dtype=bool)
+        zs = np.zeros(n, dtype=bool)
+        phase = {1: 0, 1j: 1, -1: 2, -1j: 3}[sign]
+        for j, letter in enumerate(letters.upper()):
+            if letter not in _LETTER_TO_BITS:
+                raise ValueError(f"invalid Pauli letter {letter!r}")
+            x, z = _LETTER_TO_BITS[letter]
+            xs[j] = x
+            zs[j] = z
+            if letter == "Y":
+                phase += 1  # Y = i X Z
+        return PauliString(xs, zs, phase)
+
+    @staticmethod
+    def single(num_qubits: int, qubit: int, letter: str) -> "PauliString":
+        """A single-qubit Pauli ``letter`` acting on ``qubit``."""
+        xs = np.zeros(num_qubits, dtype=bool)
+        zs = np.zeros(num_qubits, dtype=bool)
+        x, z = _LETTER_TO_BITS[letter.upper()]
+        xs[qubit] = x
+        zs[qubit] = z
+        phase = 1 if letter.upper() == "Y" else 0
+        return PauliString(xs, zs, phase)
+
+    @staticmethod
+    def from_qubit_letters(
+        num_qubits: int, assignments: Iterable[tuple[int, str]]
+    ) -> "PauliString":
+        """Build a Pauli from sparse ``(qubit, letter)`` pairs."""
+        result = PauliString.identity(num_qubits)
+        for qubit, letter in assignments:
+            result = result * PauliString.single(num_qubits, qubit, letter)
+        return result
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        return len(self.xs)
+
+    @property
+    def weight(self) -> int:
+        """Number of qubits on which this Pauli acts non-trivially."""
+        return int(np.count_nonzero(self.xs | self.zs))
+
+    @property
+    def sign(self) -> complex:
+        """The global phase as a complex number."""
+        return {0: 1, 1: 1j, 2: -1, 3: -1j}[self.phase]
+
+    def is_hermitian(self) -> bool:
+        """True when this Pauli is Hermitian (phase is real after Y factors).
+
+        The letter form absorbs one factor of ``i`` per Y; the operator is
+        Hermitian exactly when the *residual* phase is ±1.
+        """
+        y_count = int(np.count_nonzero(self.xs & self.zs))
+        return (self.phase - y_count) % 2 == 0
+
+    def is_identity(self) -> bool:
+        return not (self.xs.any() or self.zs.any())
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        """Operator product ``self @ other`` (self applied after other).
+
+        Phase bookkeeping: per qubit we reorder ``Z^z1 X^x2`` into
+        ``(-1)^(z1 x2) X^x2 Z^z1``.
+        """
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("Pauli lengths differ")
+        anti = int(np.count_nonzero(self.zs & other.xs))
+        phase = (self.phase + other.phase + 2 * anti) % 4
+        return PauliString(self.xs ^ other.xs, self.zs ^ other.zs, phase)
+
+    def __neg__(self) -> "PauliString":
+        return PauliString(self.xs, self.zs, self.phase + 2)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True when the two Paulis commute (symplectic inner product is 0)."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError("Pauli lengths differ")
+        overlap = np.count_nonzero(self.xs & other.zs) + np.count_nonzero(
+            self.zs & other.xs
+        )
+        return overlap % 2 == 0
+
+    def tensor(self, other: "PauliString") -> "PauliString":
+        """Tensor product ``self ⊗ other``."""
+        return PauliString(
+            np.concatenate([self.xs, other.xs]),
+            np.concatenate([self.zs, other.zs]),
+            self.phase + other.phase,
+        )
+
+    def conjugate_sign_under(self, other: "PauliString") -> int:
+        """Return s = ±1 with ``other · self · other⁻¹ = s · self``."""
+        return 1 if self.commutes_with(other) else -1
+
+    # ------------------------------------------------------------------
+    # Introspection / conversion
+    # ------------------------------------------------------------------
+    def letter(self, qubit: int) -> str:
+        """The Pauli letter ('I', 'X', 'Y', 'Z') acting on ``qubit``."""
+        return _BITS_TO_LETTER[(int(self.xs[qubit]), int(self.zs[qubit]))]
+
+    def letters(self) -> str:
+        """The full letter string, without the phase prefix."""
+        return "".join(self.letter(j) for j in range(self.num_qubits))
+
+    def residual_phase(self) -> int:
+        """Phase exponent after absorbing one ``i`` into each Y letter."""
+        y_count = int(np.count_nonzero(self.xs & self.zs))
+        return (self.phase - y_count) % 4
+
+    def support(self) -> list[int]:
+        """Indices of qubits acted on non-trivially."""
+        return [int(q) for q in np.nonzero(self.xs | self.zs)[0]]
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix of this Pauli (for small n; used in tests)."""
+        single = {
+            "I": np.eye(2, dtype=complex),
+            "X": np.array([[0, 1], [1, 0]], dtype=complex),
+            "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+        }
+        result = np.array([[1]], dtype=complex)
+        for letter in self.letters():
+            result = np.kron(result, single[letter])
+        sign = {0: 1, 1: 1j, 2: -1, 3: -1j}[self.residual_phase()]
+        return sign * result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            self.phase == other.phase
+            and np.array_equal(self.xs, other.xs)
+            and np.array_equal(self.zs, other.zs)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.phase, self.xs.tobytes(), self.zs.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"PauliString({str(self)!r})"
+
+    def __str__(self) -> str:
+        return _PHASE_PREFIX[self.residual_phase()] + self.letters()
+
+
+def pauli_x(num_qubits: int, qubit: int) -> PauliString:
+    """Single-qubit X on ``qubit`` within ``num_qubits`` qubits."""
+    return PauliString.single(num_qubits, qubit, "X")
+
+
+def pauli_y(num_qubits: int, qubit: int) -> PauliString:
+    """Single-qubit Y on ``qubit`` within ``num_qubits`` qubits."""
+    return PauliString.single(num_qubits, qubit, "Y")
+
+
+def pauli_z(num_qubits: int, qubit: int) -> PauliString:
+    """Single-qubit Z on ``qubit`` within ``num_qubits`` qubits."""
+    return PauliString.single(num_qubits, qubit, "Z")
+
+
+def identity(num_qubits: int) -> PauliString:
+    """The identity Pauli."""
+    return PauliString.identity(num_qubits)

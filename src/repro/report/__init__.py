@@ -1,0 +1,5 @@
+"""Plain-text tables and series for reproducing the paper's figures."""
+
+from repro.report.tables import ascii_table, format_series
+
+__all__ = ["ascii_table", "format_series"]

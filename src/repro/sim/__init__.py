@@ -1,0 +1,16 @@
+"""Monte-Carlo sampling and logical-error-rate estimation."""
+
+from repro.sim.frame import FrameSimulator, sample_detection_data
+from repro.sim.experiment import (
+    LogicalErrorResult,
+    run_memory_experiment,
+)
+from repro.sim.stats import wilson_interval
+
+__all__ = [
+    "FrameSimulator",
+    "LogicalErrorResult",
+    "run_memory_experiment",
+    "sample_detection_data",
+    "wilson_interval",
+]

@@ -1,0 +1,111 @@
+"""End-to-end logical-error-rate estimation for memory experiments.
+
+Pipeline per experiment: build the noisy circuit → extract its detector
+error model → build the basis matching graph → Monte-Carlo sample detection
+events → decode each shot → compare the decoder's observable prediction to
+the sampled truth.  Shots whose syndrome repeats are served from a decode
+cache (a large win below threshold, where most shots are quiet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoders import MatchingGraph, make_decoder
+from repro.dem import DetectorErrorModel
+from repro.sim.frame import sample_detection_data
+from repro.sim.stats import wilson_interval
+from repro.surface_code.extraction import MemoryCircuit
+
+__all__ = ["LogicalErrorResult", "run_memory_experiment"]
+
+
+@dataclass
+class LogicalErrorResult:
+    """Outcome of a logical memory Monte-Carlo run.
+
+    ``logical_error_rate`` is per shot (i.e. per ``rounds`` of error
+    correction, the paper's Figure 11 normalization).
+    """
+
+    scheme: str
+    basis: str
+    distance: int
+    rounds: int
+    shots: int
+    logical_errors: int
+    undetectable_probability: float
+    decoder: str
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.logical_errors / self.shots
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        return wilson_interval(self.logical_errors, self.shots)
+
+    def __str__(self) -> str:
+        lo, hi = self.confidence_interval
+        return (
+            f"{self.scheme} d={self.distance} {self.basis}-memory: "
+            f"p_L = {self.logical_error_rate:.2e} "
+            f"[{lo:.2e}, {hi:.2e}] ({self.logical_errors}/{self.shots})"
+        )
+
+
+def run_memory_experiment(
+    memory: MemoryCircuit,
+    shots: int,
+    decoder: str = "unionfind",
+    seed: int | None = None,
+) -> LogicalErrorResult:
+    """Estimate the logical error rate of a memory circuit.
+
+    Parameters
+    ----------
+    memory:
+        Circuit from one of the architecture builders.
+    shots:
+        Monte-Carlo trials (the paper used 2,000,000 per point; see
+        EXPERIMENTS.md for the fidelity/runtime trade-off).
+    decoder:
+        ``"unionfind"`` (fast, default) or ``"mwpm"`` (reference).
+    """
+    dem = DetectorErrorModel(memory.circuit)
+    graph = MatchingGraph.from_dem(dem, memory.basis)
+    decode = make_decoder(decoder, graph).decode
+
+    data = sample_detection_data(memory.circuit, shots, seed)
+    basis_ids = dem.basis_detectors(memory.basis)
+    dets = data.detectors[:, basis_ids]
+    obs_ids = dem.basis_observables(memory.basis)
+    actual = np.zeros(shots, dtype=np.int64)
+    for bit, j in enumerate(obs_ids):
+        actual |= data.observables[:, j].astype(np.int64) << bit
+
+    errors = 0
+    cache: dict[bytes, int] = {}
+    for shot in range(shots):
+        row = dets[shot]
+        key = row.tobytes()
+        prediction = cache.get(key)
+        if prediction is None:
+            events = np.nonzero(row)[0].tolist()
+            prediction = decode(events)
+            cache[key] = prediction
+        if prediction != actual[shot]:
+            errors += 1
+
+    return LogicalErrorResult(
+        scheme=memory.scheme,
+        basis=memory.basis,
+        distance=memory.code.distance,
+        rounds=memory.rounds,
+        shots=shots,
+        logical_errors=errors,
+        undetectable_probability=graph.undetectable_probability,
+        decoder=decoder,
+    )

@@ -1,0 +1,30 @@
+"""Small statistics helpers for Monte-Carlo estimates."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["wilson_interval"]
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because logical error rates sit
+    deep in the small-p regime where the naive interval misbehaves.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z * z / (4.0 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))

@@ -1,0 +1,18 @@
+"""Stabilizer (Aaronson–Gottesman tableau) simulation.
+
+Used for everything that needs *exact* quantum states rather than error
+frames: lattice-surgery merge/split semantics, transversal-CNOT process
+tomography, and cross-validation of the Pauli-frame sampler.
+"""
+
+from repro.stabilizer.tableau import TableauSimulator
+from repro.stabilizer.tomography import (
+    clifford_process_map,
+    process_map_equals_cnot,
+)
+
+__all__ = [
+    "TableauSimulator",
+    "clifford_process_map",
+    "process_map_equals_cnot",
+]

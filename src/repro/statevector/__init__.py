@@ -1,0 +1,10 @@
+"""Dense statevector simulation (small systems only).
+
+Exists to cross-validate the stabilizer tableau simulator and the Pauli
+algebra in tests; it is intentionally simple and capped at a size where
+exhaustive checking is cheap.
+"""
+
+from repro.statevector.simulator import StateVectorSimulator
+
+__all__ = ["StateVectorSimulator"]

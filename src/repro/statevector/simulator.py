@@ -1,0 +1,150 @@
+"""A dense statevector simulator for cross-checking (≤ ~16 qubits).
+
+Qubit ``q`` corresponds to tensor axis ``q`` of the state array, so the
+amplitude of basis state ``|b_{n-1} … b_1 b_0⟩`` lives at index
+``psi[b_0, b_1, …]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import Circuit, GateKind, Instruction
+from repro.pauli import PauliString
+
+__all__ = ["StateVectorSimulator"]
+
+_SQRT_HALF = 1 / np.sqrt(2)
+
+_GATES_1Q = {
+    "I": np.eye(2, dtype=complex),
+    "H": np.array([[1, 1], [1, -1]], dtype=complex) * _SQRT_HALF,
+    "S": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "S_DAG": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "T": np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+_GATES_2Q = {
+    "CX": np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    ),
+    "CZ": np.diag([1, 1, 1, -1]).astype(complex),
+    "SWAP": np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    ),
+}
+
+_MAX_QUBITS = 16
+
+
+class StateVectorSimulator:
+    """Dense simulator starting in |0…0⟩."""
+
+    def __init__(self, num_qubits: int, seed: int | np.random.Generator | None = None):
+        if not 0 < num_qubits <= _MAX_QUBITS:
+            raise ValueError(f"num_qubits must be in 1..{_MAX_QUBITS}")
+        self.n = num_qubits
+        self.psi = np.zeros((2,) * num_qubits, dtype=complex)
+        self.psi[(0,) * num_qubits] = 1.0
+        self.rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+
+    # ------------------------------------------------------------------
+    # Gate application
+    # ------------------------------------------------------------------
+    def apply_1q(self, name: str, q: int) -> None:
+        gate = _GATES_1Q[name]
+        self.psi = np.moveaxis(
+            np.tensordot(gate, self.psi, axes=([1], [q])), 0, q
+        )
+
+    def apply_2q(self, name: str, a: int, b: int) -> None:
+        # The 4x4 matrix is indexed as |a b⟩ with a the high bit.
+        gate = _GATES_2Q[name].reshape(2, 2, 2, 2)
+        self.psi = np.moveaxis(
+            np.tensordot(gate, self.psi, axes=([2, 3], [a, b])), [0, 1], [a, b]
+        )
+
+    def apply_pauli(self, pauli: PauliString) -> None:
+        """Apply a Pauli operator including its global phase."""
+        for q in pauli.support():
+            self.apply_1q(pauli.letter(q), q)
+        self.psi = self.psi * {0: 1, 1: 1j, 2: -1, 3: -1j}[pauli.residual_phase()]
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def probability_of_one(self, q: int) -> float:
+        marginal = np.abs(np.moveaxis(self.psi, q, 0)[1]) ** 2
+        return float(marginal.sum())
+
+    def measure(self, q: int, forced_outcome: int | None = None) -> int:
+        p1 = self.probability_of_one(q)
+        if forced_outcome is None:
+            outcome = int(self.rng.random() < p1)
+        else:
+            outcome = int(forced_outcome)
+        moved = np.moveaxis(self.psi, q, 0)
+        moved[1 - outcome] = 0.0
+        norm = np.linalg.norm(moved)
+        if norm == 0:
+            raise ValueError("forced an impossible measurement outcome")
+        self.psi = np.moveaxis(moved / norm, 0, q)
+        return outcome
+
+    def reset(self, q: int) -> None:
+        if self.measure(q) == 1:
+            self.apply_1q("X", q)
+
+    # ------------------------------------------------------------------
+    # Expectations / inspection
+    # ------------------------------------------------------------------
+    def expectation_pauli(self, pauli: PauliString) -> complex:
+        clone = self.psi.copy()
+        sim = StateVectorSimulator.__new__(StateVectorSimulator)
+        sim.n, sim.psi, sim.rng = self.n, clone, self.rng
+        sim.apply_pauli(pauli)
+        return complex(np.vdot(self.psi.reshape(-1), sim.psi.reshape(-1)))
+
+    def state_vector(self) -> np.ndarray:
+        """Flat amplitude vector, qubit 0 = least-significant bit."""
+        order = tuple(range(self.n - 1, -1, -1))
+        return self.psi.transpose(order).reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Circuit execution
+    # ------------------------------------------------------------------
+    def run(self, circuit: Circuit) -> list[int]:
+        record: list[int] = []
+        for ins in circuit.instructions:
+            self._run_instruction(ins, record)
+        return record
+
+    def _run_instruction(self, ins: Instruction, record: list[int]) -> None:
+        kind = ins.kind
+        if kind is GateKind.UNITARY1:
+            for q in ins.targets:
+                self.apply_1q(ins.name, q)
+        elif kind is GateKind.UNITARY2:
+            for a, b in ins.target_groups():
+                self.apply_2q(ins.name, a, b)
+        elif kind is GateKind.RESET:
+            for q in ins.targets:
+                self.reset(q)
+        elif kind is GateKind.MEASURE:
+            flip = ins.args[0] if ins.args else 0.0
+            for q in ins.targets:
+                outcome = self.measure(q)
+                if flip and self.rng.random() < flip:
+                    outcome ^= 1
+                record.append(outcome)
+        elif kind in (GateKind.NOISE1, GateKind.NOISE2):
+            raise NotImplementedError(
+                "statevector simulator runs noiseless circuits only"
+            )
+        else:  # pragma: no cover
+            raise NotImplementedError(ins.name)

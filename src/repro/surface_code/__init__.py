@@ -1,0 +1,14 @@
+"""The rotated surface code: layout, stabilizers and logical operators."""
+
+from repro.surface_code.layout import Plaquette, RotatedSurfaceCode
+from repro.surface_code.extraction import (
+    BASELINE_CNOT_ORDERS,
+    baseline_memory_circuit,
+)
+
+__all__ = [
+    "BASELINE_CNOT_ORDERS",
+    "Plaquette",
+    "RotatedSurfaceCode",
+    "baseline_memory_circuit",
+]

@@ -1,0 +1,189 @@
+"""Moment-by-moment construction of noisy syndrome-extraction circuits.
+
+All five evaluated setups (baseline 2D, Natural/Compact × All-at-once/
+Interleaved) are built through :class:`MomentCircuitBuilder`.  The builder
+owns the two bookkeeping chores that differ between architectures and are
+easy to get wrong:
+
+* **gate noise** — each operation carries its Table-I error channel
+  (DEPOLARIZE2 after two-qubit gates, X_ERROR after resets, classical flips
+  on measurements, SWAP + DEPOLARIZE2 for transmon-mediated load/store);
+* **idle (storage) noise** — every *live* slot not participating in a
+  moment receives DEPOLARIZE1(λ) with λ = 1 − exp(−duration/T1) evaluated
+  at the slot's location: transmon ``T1,t`` or cavity ``T1,c``.
+
+Slots are simulator qubit indices.  A *slot* is a physical storage location
+(a transmon or one cavity mode); logical data moves between slots via
+LOAD/STORE, which the error-frame simulators see as a SWAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.circuits import Circuit
+from repro.noise import ErrorModel
+
+__all__ = ["MomentCircuitBuilder", "SlotRegistry", "TRANSMON", "CAVITY"]
+
+TRANSMON = "transmon"
+CAVITY = "cavity"
+
+
+class SlotRegistry:
+    """Allocates simulator qubit indices for named hardware locations."""
+
+    def __init__(self) -> None:
+        self._slots: dict[Hashable, int] = {}
+
+    def slot(self, name: Hashable) -> int:
+        """The index for ``name``, allocating on first use."""
+        if name not in self._slots:
+            self._slots[name] = len(self._slots)
+        return self._slots[name]
+
+    def get(self, name: Hashable) -> int:
+        """The index for ``name``; raises KeyError if never allocated."""
+        return self._slots[name]
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def names(self) -> list[Hashable]:
+        return list(self._slots)
+
+
+@dataclass
+class MomentCircuitBuilder:
+    """Accumulates moments into a noisy :class:`Circuit`.
+
+    Operations accepted by :meth:`moment` (slots are ints):
+
+    ========================  ====================================================
+    ``("R", slot)``           reset to |0⟩; X_ERROR(p_reset); marks slot live
+    ``("H", slot)``           Hadamard; DEPOLARIZE1(p_1q)
+    ``("M", slot, key)``      measure-Z, classical flip p_meas; slot goes dead;
+                              the measurement index is recorded under ``key``
+    ``("CX", c, t)``          transmon-transmon CNOT; DEPOLARIZE2(p_2q)
+    ``("CXTM", c, t)``        transmon-mode CNOT; DEPOLARIZE2(p_tm)
+    ``("LOAD", mode, tr)``    SWAP frame mode→transmon; DEPOLARIZE2(p_ls)
+    ``("STORE", tr, mode)``   SWAP frame transmon→mode; DEPOLARIZE2(p_ls)
+    ========================  ====================================================
+    """
+
+    error_model: ErrorModel
+    circuit: Circuit = field(default_factory=Circuit)
+    live: dict[int, str] = field(default_factory=dict)
+    measurements: dict[Hashable, list[int]] = field(default_factory=dict)
+    elapsed: float = 0.0
+    op_counts: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def mark_live(self, slot: int, kind: str = TRANSMON) -> None:
+        if kind not in (TRANSMON, CAVITY):
+            raise ValueError(f"unknown slot kind {kind!r}")
+        self.live[slot] = kind
+
+    def mark_dead(self, slot: int) -> None:
+        self.live.pop(slot, None)
+
+    # ------------------------------------------------------------------
+    # Moments
+    # ------------------------------------------------------------------
+    def moment(self, duration: float, ops: Sequence[tuple]) -> None:
+        """Emit one moment: parallel ops plus idle noise on bystanders."""
+        em = self.error_model
+        busy: set[int] = set()
+        resets: list[int] = []
+        hadamards: list[int] = []
+        cx_tt: list[int] = []
+        cx_tm: list[int] = []
+        swaps: list[int] = []
+        measures: list[tuple[int, Hashable]] = []
+
+        for op in ops:
+            name = op[0]
+            slots = [s for s in op[1:] if isinstance(s, int)]
+            for s in slots:
+                if s in busy:
+                    raise ValueError(f"slot {s} used twice in one moment ({name})")
+                busy.add(s)
+            self.op_counts[name] = self.op_counts.get(name, 0) + 1
+            if name == "R":
+                resets.append(op[1])
+            elif name == "H":
+                hadamards.append(op[1])
+            elif name == "CX":
+                cx_tt.extend((op[1], op[2]))
+            elif name == "CXTM":
+                cx_tm.extend((op[1], op[2]))
+            elif name in ("LOAD", "STORE"):
+                swaps.extend((op[1], op[2]))
+            elif name == "M":
+                measures.append((op[1], op[2]))
+            else:
+                raise ValueError(f"unknown moment op {name!r}")
+
+        # --- idle noise on live bystanders (before the ops; order is
+        # irrelevant for error analysis since frames commute through) ---
+        idle_t = [s for s, kind in self.live.items() if s not in busy and kind == TRANSMON]
+        idle_c = [s for s, kind in self.live.items() if s not in busy and kind == CAVITY]
+        if duration > 0:
+            if idle_t:
+                self.circuit.depolarize1(sorted(idle_t), em.transmon_idle_error(duration))
+            if idle_c:
+                self.circuit.depolarize1(sorted(idle_c), em.cavity_idle_error(duration))
+
+        # --- gates with their noise ---
+        if resets:
+            self.circuit.reset(*resets)
+            self.circuit.x_error(resets, em.reset_error)
+            for s in resets:
+                self.mark_live(s, TRANSMON)
+        if hadamards:
+            self.circuit.h(*hadamards)
+            self.circuit.depolarize1(hadamards, em.one_qubit_error)
+        if cx_tt:
+            self.circuit.cx(*cx_tt)
+            self.circuit.depolarize2(cx_tt, em.two_qubit_error)
+        if cx_tm:
+            self.circuit.cx(*cx_tm)
+            self.circuit.depolarize2(cx_tm, em.transmon_mode_error)
+        if swaps:
+            self.circuit.swap(*swaps)
+            self.circuit.depolarize2(swaps, em.load_store_error)
+        for op in ops:
+            if op[0] == "LOAD":
+                mode, tr = op[1], op[2]
+                self.mark_dead(mode)
+                self.mark_live(tr, TRANSMON)
+            elif op[0] == "STORE":
+                tr, mode = op[1], op[2]
+                self.mark_dead(tr)
+                self.mark_live(mode, CAVITY)
+        if measures:
+            slots = [s for s, _ in measures]
+            indices = self.circuit.measure(*slots, flip_probability=em.measure_error)
+            for (slot, key), index in zip(measures, indices):
+                self.measurements.setdefault(key, []).append(index)
+                self.mark_dead(slot)
+
+        self.elapsed += duration
+
+    def idle_gap(self, duration: float) -> None:
+        """A pure waiting period (e.g. the (k−1)× serialization gap)."""
+        if duration > 0:
+            self.moment(duration, [])
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def measurement_indices(self, key: Hashable) -> list[int]:
+        """All measurement indices recorded under ``key`` (round order)."""
+        return self.measurements.get(key, [])

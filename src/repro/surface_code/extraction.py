@@ -1,0 +1,224 @@
+"""Baseline 2D syndrome extraction and the shared memory-experiment glue.
+
+The baseline (Fig. 2 of the paper) uses one transmon per data qubit and one
+per ancilla.  A round is the standard six-step circuit: reset ancillas,
+Hadamard the measure-X ancillas, four CNOT layers, Hadamard back, measure.
+
+CNOT layer orders are chosen so that (a) each data qubit is used at most
+once per layer, (b) mid-round X/Z check operators commute, and (c) *hook*
+errors (ancilla faults spreading to two data qubits) land perpendicular to
+the logical operator they threaten, preserving the full code distance:
+X-plaquette hooks spread horizontally (logical X is vertical), Z-plaquette
+hooks vertically (logical Z is horizontal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.circuits import Circuit
+from repro.noise import ErrorModel
+from repro.surface_code.builder import (
+    CAVITY,
+    MomentCircuitBuilder,
+    SlotRegistry,
+    TRANSMON,
+)
+from repro.surface_code.layout import Plaquette, RotatedSurfaceCode
+
+__all__ = [
+    "BASELINE_CNOT_ORDERS",
+    "MemoryCircuit",
+    "baseline_memory_circuit",
+    "emit_standard_round",
+    "finish_memory_experiment",
+]
+
+#: Corner visit order per plaquette basis (see module docstring).
+BASELINE_CNOT_ORDERS: dict[str, tuple[str, ...]] = {
+    "X": ("NW", "NE", "SW", "SE"),
+    "Z": ("NW", "SW", "NE", "SE"),
+}
+
+
+@dataclass
+class MemoryCircuit:
+    """A complete logical-memory experiment circuit plus its metadata.
+
+    Attributes
+    ----------
+    circuit:
+        The noisy circuit with detectors and one logical observable.
+    code:
+        The underlying surface code layout.
+    basis:
+        ``"Z"`` → logical |0⟩ memory (decodes X errors);
+        ``"X"`` → logical |+⟩ memory (decodes Z errors).
+    rounds:
+        Number of noisy syndrome-extraction rounds.
+    scheme:
+        Human-readable architecture label (for reports).
+    duration:
+        Total wall-clock time modelled, in seconds.
+    op_counts:
+        Operation histogram (loads, stores, CNOT flavours, …).
+    """
+
+    circuit: Circuit
+    code: RotatedSurfaceCode
+    basis: str
+    rounds: int
+    scheme: str
+    duration: float = 0.0
+    op_counts: dict[str, int] = field(default_factory=dict)
+
+
+def emit_standard_round(
+    builder: MomentCircuitBuilder,
+    code: RotatedSurfaceCode,
+    data_slot: dict[tuple[int, int], int],
+    ancilla_slot: dict[tuple[int, int], int],
+    orders: dict[str, tuple[str, ...]] = BASELINE_CNOT_ORDERS,
+) -> None:
+    """One standard extraction round on transmons (baseline and Natural).
+
+    ``data_slot`` / ``ancilla_slot`` map data coordinates / plaquette cells
+    to simulator slots; data must already be live on its transmon slot.
+    """
+    hw = builder.error_model.hardware
+
+    builder.moment(hw.t_reset, [("R", ancilla_slot[p.cell]) for p in code.plaquettes])
+    x_plaquettes = code.plaquettes_of_basis("X")
+    builder.moment(hw.t_gate_1q, [("H", ancilla_slot[p.cell]) for p in x_plaquettes])
+    for layer in range(4):
+        ops = []
+        for p in code.plaquettes:
+            role = orders[p.basis][layer]
+            coord = p.corner(role)
+            if coord is None:
+                continue
+            anc = ancilla_slot[p.cell]
+            dat = data_slot[coord]
+            if p.basis == "Z":
+                ops.append(("CX", dat, anc))  # parity accumulates onto ancilla
+            else:
+                ops.append(("CX", anc, dat))  # |+> ancilla picks up phase parity
+        builder.moment(hw.t_gate_2q, ops)
+    builder.moment(hw.t_gate_1q, [("H", ancilla_slot[p.cell]) for p in x_plaquettes])
+    builder.moment(
+        hw.t_measure,
+        [("M", ancilla_slot[p.cell], ("anc", p.cell)) for p in code.plaquettes],
+    )
+
+
+def standard_round_duration(error_model: ErrorModel) -> float:
+    """Wall-clock duration of one standard extraction round."""
+    hw = error_model.hardware
+    return hw.t_reset + 2 * hw.t_gate_1q + 4 * hw.t_gate_2q + hw.t_measure
+
+
+def finish_memory_experiment(
+    builder: MomentCircuitBuilder,
+    code: RotatedSurfaceCode,
+    basis: str,
+    data_measurement_key: Hashable = "data",
+) -> None:
+    """Emit detectors and the logical observable for a memory experiment.
+
+    Assumes: per-plaquette ancilla outcomes recorded under ``("anc", cell)``
+    (one entry per round, in order) and the final transversal data
+    measurement recorded under ``(data_measurement_key, coord)``.
+
+    Detector structure (for basis ``"Z"``; symmetric for ``"X"``):
+
+    * round 0, Z plaquettes: outcome itself (deterministically 0 after
+      perfect logical-|0⟩ initialization),
+    * rounds t>0, every plaquette: XOR with the previous round,
+    * final: each Z plaquette's data-corner parity XOR its last outcome,
+    * observable: the logical-Z data row (X column for basis "X").
+    """
+    if basis not in ("X", "Z"):
+        raise ValueError("basis must be 'X' or 'Z'")
+    circuit = builder.circuit
+    for p in code.plaquettes:
+        outcomes = builder.measurement_indices(("anc", p.cell))
+        for t, m in enumerate(outcomes):
+            coord = (*p.cell, t)
+            if t == 0:
+                if p.basis == basis:
+                    circuit.add_detector([m], coord, basis=p.basis)
+            else:
+                circuit.add_detector([m, outcomes[t - 1]], coord, basis=p.basis)
+    final_round = max(
+        len(builder.measurement_indices(("anc", p.cell))) for p in code.plaquettes
+    )
+    for p in code.plaquettes:
+        if p.basis != basis:
+            continue
+        outcomes = builder.measurement_indices(("anc", p.cell))
+        data_ms = [
+            builder.measurement_indices((data_measurement_key, coord))[-1]
+            for coord in p.data
+        ]
+        circuit.add_detector(
+            data_ms + [outcomes[-1]], (*p.cell, final_round), basis=p.basis
+        )
+    logical_coords = (
+        code.logical_z_coords() if basis == "Z" else code.logical_x_coords()
+    )
+    observable_ms = [
+        builder.measurement_indices((data_measurement_key, coord))[-1]
+        for coord in logical_coords
+    ]
+    circuit.add_observable(observable_ms, name=f"logical_{basis}", basis=basis)
+
+
+def baseline_memory_circuit(
+    distance: int,
+    error_model: ErrorModel,
+    rounds: int | None = None,
+    basis: str = "Z",
+) -> MemoryCircuit:
+    """The baseline 2D memory experiment (paper Fig. 11, leftmost panel).
+
+    Prepare logical |0⟩ (or |+⟩), run ``rounds`` noisy extraction rounds
+    (default: ``distance``), then measure all data transversally.
+    """
+    if basis not in ("X", "Z"):
+        raise ValueError("basis must be 'X' or 'Z'")
+    code = RotatedSurfaceCode(distance)
+    rounds = distance if rounds is None else rounds
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    builder = MomentCircuitBuilder(error_model)
+    registry = SlotRegistry()
+    data_slot = {coord: registry.slot(("data", coord)) for coord in code.data_coords}
+    ancilla_slot = {p.cell: registry.slot(("anc", p.cell)) for p in code.plaquettes}
+    hw = error_model.hardware
+
+    # Initialization: reset data (plus H for the |+> experiment).
+    builder.moment(hw.t_reset, [("R", data_slot[c]) for c in code.data_coords])
+    if basis == "X":
+        builder.moment(hw.t_gate_1q, [("H", data_slot[c]) for c in code.data_coords])
+
+    for _ in range(rounds):
+        emit_standard_round(builder, code, data_slot, ancilla_slot)
+
+    # Final transversal data measurement.
+    if basis == "X":
+        builder.moment(hw.t_gate_1q, [("H", data_slot[c]) for c in code.data_coords])
+    builder.moment(
+        hw.t_measure,
+        [("M", data_slot[c], ("data", c)) for c in code.data_coords],
+    )
+    finish_memory_experiment(builder, code, basis)
+    return MemoryCircuit(
+        circuit=builder.circuit,
+        code=code,
+        basis=basis,
+        rounds=rounds,
+        scheme="baseline",
+        duration=builder.elapsed,
+        op_counts=dict(builder.op_counts),
+    )

@@ -1,0 +1,188 @@
+"""Rotated surface code layout (Fig. 2 of the paper).
+
+Geometry conventions
+--------------------
+Data qubits live on a d×d grid addressed ``(row, col)`` with
+``0 ≤ row, col < d``.  Stabilizer *plaquettes* live on cells addressed
+``(r, c)`` with ``−1 ≤ r, c < d``; cell ``(r, c)`` touches the (up to four)
+data qubits ``(r, c), (r, c+1), (r+1, c), (r+1, c+1)`` — its NW, NE, SW and
+SE corners.
+
+* Interior cells (all four corners exist) alternate checkerboard-fashion:
+  X-type when ``(r + c)`` is even, Z-type otherwise.
+* Two-corner boundary cells survive only on the boundary matching their
+  type: X half-plaquettes on the top/bottom rows, Z half-plaquettes on the
+  left/right columns — giving ``(d²−1)/2`` stabilizers of each type.
+* Logical X is a *vertical* chain (column 0: it must terminate on the X
+  boundaries), logical Z a *horizontal* chain (row 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.pauli import PauliString
+
+__all__ = ["Plaquette", "RotatedSurfaceCode"]
+
+#: Corner roles in reading order.
+CORNER_ROLES = ("NW", "NE", "SW", "SE")
+
+_CORNER_OFFSETS = {
+    "NW": (0, 0),
+    "NE": (0, 1),
+    "SW": (1, 0),
+    "SE": (1, 1),
+}
+
+
+@dataclass(frozen=True)
+class Plaquette:
+    """One stabilizer of the rotated surface code.
+
+    Attributes
+    ----------
+    basis:
+        ``"X"`` (phase-parity check, detects Z errors) or ``"Z"``
+        (bit-parity check, detects X errors).
+    cell:
+        The cell coordinate ``(r, c)``.
+    corners:
+        Mapping from corner role (``"NW"`` …) to the data ``(row, col)``
+        coordinate, for the corners that exist.
+    """
+
+    basis: str
+    cell: tuple[int, int]
+    corners: tuple[tuple[str, tuple[int, int]], ...]
+
+    @property
+    def data(self) -> tuple[tuple[int, int], ...]:
+        """The data coordinates of this plaquette."""
+        return tuple(coord for _, coord in self.corners)
+
+    @property
+    def is_boundary(self) -> bool:
+        return len(self.corners) == 2
+
+    def corner(self, role: str) -> tuple[int, int] | None:
+        """The data coordinate at ``role``, or None when absent."""
+        for r, coord in self.corners:
+            if r == role:
+                return coord
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.basis}{self.cell}"
+
+
+class RotatedSurfaceCode:
+    """A rotated surface code patch, square (``d×d``) or rectangular.
+
+    Provides the plaquette list, data-qubit enumeration and the logical
+    operators; every architecture (baseline 2D, Natural, Compact) derives
+    its circuits from this single geometric description.  Rectangular
+    patches (``cols != rows``) appear as merged patches during lattice
+    surgery; the code distance is ``min(rows, cols)``.
+    """
+
+    def __init__(self, distance: int, cols: int | None = None):
+        if distance < 2:
+            raise ValueError("distance must be at least 2")
+        self.rows = distance
+        self.cols = distance if cols is None else cols
+        if self.cols < 2:
+            raise ValueError("cols must be at least 2")
+        self.distance = min(self.rows, self.cols)
+        self.data_coords: list[tuple[int, int]] = [
+            (row, col) for row in range(self.rows) for col in range(self.cols)
+        ]
+        self._data_index = {coord: i for i, coord in enumerate(self.data_coords)}
+        self.plaquettes: list[Plaquette] = list(self._build_plaquettes())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_plaquettes(self) -> Iterator[Plaquette]:
+        rows, cols = self.rows, self.cols
+        for r in range(-1, rows):
+            for c in range(-1, cols):
+                corners = tuple(
+                    (role, (r + dr, c + dc))
+                    for role, (dr, dc) in _CORNER_OFFSETS.items()
+                    if 0 <= r + dr < rows and 0 <= c + dc < cols
+                )
+                basis = "X" if (r + c) % 2 == 0 else "Z"
+                if len(corners) == 4:
+                    yield Plaquette(basis, (r, c), corners)
+                elif len(corners) == 2:
+                    on_top_bottom = r in (-1, rows - 1)
+                    on_left_right = c in (-1, cols - 1)
+                    if basis == "X" and on_top_bottom and not on_left_right:
+                        yield Plaquette(basis, (r, c), corners)
+                    elif basis == "Z" and on_left_right and not on_top_bottom:
+                        yield Plaquette(basis, (r, c), corners)
+
+    # ------------------------------------------------------------------
+    # Counting / lookup
+    # ------------------------------------------------------------------
+    @property
+    def num_data(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def num_ancilla(self) -> int:
+        return len(self.plaquettes)
+
+    def plaquettes_of_basis(self, basis: str) -> list[Plaquette]:
+        if basis not in ("X", "Z"):
+            raise ValueError("basis must be 'X' or 'Z'")
+        return [p for p in self.plaquettes if p.basis == basis]
+
+    def data_index(self, coord: tuple[int, int]) -> int:
+        """Dense index of a data coordinate (row-major)."""
+        return self._data_index[coord]
+
+    # ------------------------------------------------------------------
+    # Logical operators and stabilizers as Paulis
+    # ------------------------------------------------------------------
+    def logical_x_coords(self) -> list[tuple[int, int]]:
+        """Data coordinates of the logical X chain (column 0, vertical)."""
+        return [(row, 0) for row in range(self.rows)]
+
+    def logical_z_coords(self) -> list[tuple[int, int]]:
+        """Data coordinates of the logical Z chain (row 0, horizontal)."""
+        return [(0, col) for col in range(self.cols)]
+
+    def logical_x(self) -> PauliString:
+        """Logical X as a Pauli over the data qubits (dense indexing)."""
+        return PauliString.from_qubit_letters(
+            self.num_data, [(self.data_index(c), "X") for c in self.logical_x_coords()]
+        )
+
+    def logical_z(self) -> PauliString:
+        """Logical Z as a Pauli over the data qubits (dense indexing)."""
+        return PauliString.from_qubit_letters(
+            self.num_data, [(self.data_index(c), "Z") for c in self.logical_z_coords()]
+        )
+
+    def stabilizer_pauli(self, plaquette: Plaquette) -> PauliString:
+        """A plaquette's check operator over the data qubits."""
+        return PauliString.from_qubit_letters(
+            self.num_data,
+            [(self.data_index(c), plaquette.basis) for c in plaquette.data],
+        )
+
+    # ------------------------------------------------------------------
+    # Pretty printing (useful in docs/examples)
+    # ------------------------------------------------------------------
+    def ascii_diagram(self) -> str:
+        """A small ASCII picture of the patch (data '.', X/Z cell labels)."""
+        grid = [[" " for _ in range(2 * self.cols + 1)] for _ in range(2 * self.rows + 1)]
+        for row, col in self.data_coords:
+            grid[2 * row + 1][2 * col + 1] = "."
+        for p in self.plaquettes:
+            r, c = p.cell
+            grid[2 * (r + 1)][2 * (c + 1)] = p.basis.lower() if p.is_boundary else p.basis
+        return "\n".join("".join(line).rstrip() for line in grid if "".join(line).strip())

@@ -1,0 +1,36 @@
+"""Lattice surgery and transversal logical operations (§III-B, Figs. 4/6/9).
+
+Two levels of fidelity:
+
+* :mod:`repro.surgery.operations` — logical lattice surgery as joint Pauli
+  measurements on the encoded register (the operator-level semantics of the
+  merge/split sequence of Fig. 4) plus the paper's transversal CNOT, both
+  verified by exact Clifford process tomography.
+* :mod:`repro.surgery.physical` — an honest plaquette-level rough merge of
+  two adjacent patches: seam initialization, stabilizer measurement of the
+  merged code, and GF(2) extraction of the joint logical outcome from the
+  individual plaquette results.
+"""
+
+from repro.surgery.patches import Patch, SurgeryLab
+from repro.surgery.operations import (
+    CNOT_TIMESTEPS_LATTICE_SURGERY,
+    CNOT_TIMESTEPS_TRANSVERSAL,
+    lattice_surgery_cnot,
+    transversal_cnot,
+)
+from repro.surgery.verify import (
+    tomography_of_lattice_surgery_cnot,
+    tomography_of_transversal_cnot,
+)
+
+__all__ = [
+    "CNOT_TIMESTEPS_LATTICE_SURGERY",
+    "CNOT_TIMESTEPS_TRANSVERSAL",
+    "Patch",
+    "SurgeryLab",
+    "lattice_surgery_cnot",
+    "tomography_of_lattice_surgery_cnot",
+    "tomography_of_transversal_cnot",
+    "transversal_cnot",
+]

@@ -1,0 +1,50 @@
+"""GF(2) linear algebra over Pauli supports.
+
+Lattice-surgery outcome extraction is linear algebra: the joint logical
+outcome is the XOR of the recorded outcomes of a *subset* of check
+operators whose product equals the joint logical as an operator.  This
+module finds that subset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gf2_solve"]
+
+
+def gf2_solve(generators: list[np.ndarray], target: np.ndarray) -> np.ndarray | None:
+    """Solve ``sum_i x_i * generators[i] = target`` over GF(2).
+
+    Returns the coefficient vector ``x`` (uint8, one entry per generator)
+    or ``None`` when the target is outside the span.  When the system is
+    underdetermined any valid solution is returned — for outcome
+    extraction all solutions give the same XOR, since the generators'
+    relations are themselves products of +1 operators.
+    """
+    if not generators:
+        return None
+    matrix = np.array(generators, dtype=np.uint8).T % 2
+    t = np.asarray(target, dtype=np.uint8) % 2
+    if matrix.shape[0] != t.shape[0]:
+        raise ValueError("generator/target length mismatch")
+    augmented = np.concatenate([matrix, t[:, None]], axis=1)
+    rows, cols = augmented.shape
+    pivots: list[int] = []
+    rank = 0
+    for c in range(cols - 1):
+        pivot_row = next((r for r in range(rank, rows) if augmented[r, c]), None)
+        if pivot_row is None:
+            continue
+        augmented[[rank, pivot_row]] = augmented[[pivot_row, rank]]
+        for r in range(rows):
+            if r != rank and augmented[r, c]:
+                augmented[r] ^= augmented[rank]
+        pivots.append(c)
+        rank += 1
+    if any(not augmented[r, :-1].any() and augmented[r, -1] for r in range(rows)):
+        return None
+    solution = np.zeros(cols - 1, dtype=np.uint8)
+    for r, c in enumerate(pivots):
+        solution[c] = augmented[r, -1]
+    return solution

@@ -1,0 +1,67 @@
+"""Logical CNOT implementations: lattice surgery (Fig. 4) vs transversal
+(Fig. 6) — the paper's headline 6× speedup.
+
+Lattice-surgery CNOT (control C, target T, ancilla patch A in |0⟩):
+
+1. merge A,T  → measure X_A ⊗ X_T  (outcome m1)   [2 timesteps: merge+split]
+2. merge A,C  → measure Z_C ⊗ Z_A  (outcome m2)   [2 timesteps]
+3. measure A in the X basis        (outcome m3)   [2 timesteps: split+meas]
+4. Pauli fixups: Z on C iff m1⊕m3, X on T iff m2  [tracked, free]
+
+(The fixup table was derived by exhaustively checking all 8 outcome
+branches against the ideal CNOT process map; the tests re-verify it.)
+
+The transversal CNOT simply applies a physical CNOT between corresponding
+data qubits of two co-located patches — possible in the 2.5D architecture
+because each transmon can mediate a CNOT onto its own cavity mode.  One
+timestep (a single round of error correction), 6× faster.
+"""
+
+from __future__ import annotations
+
+from repro.surgery.patches import Patch, SurgeryLab
+
+__all__ = [
+    "CNOT_TIMESTEPS_LATTICE_SURGERY",
+    "CNOT_TIMESTEPS_TRANSVERSAL",
+    "lattice_surgery_cnot",
+    "transversal_cnot",
+]
+
+#: §III-B: "This can be performed in a single round of d error correction
+#: cycles while the lattice surgery CNOT ... takes 6 rounds."
+CNOT_TIMESTEPS_LATTICE_SURGERY = 6
+CNOT_TIMESTEPS_TRANSVERSAL = 1
+
+
+def lattice_surgery_cnot(
+    lab: SurgeryLab, control: Patch, target: Patch, ancilla: Patch
+) -> dict[str, int]:
+    """CNOT via merge/split (Figs. 4 and 9); returns the outcome record.
+
+    The ancilla patch is (re-)encoded to |0⟩ internally, matching Fig. 4a.
+    """
+    lab.encode_zero(ancilla)
+    m1 = lab.measure_joint([(ancilla, "X"), (target, "X")])
+    m2 = lab.measure_joint([(control, "Z"), (ancilla, "Z")])
+    m3 = lab.measure_logical(ancilla, "X")
+    if m1 ^ m3:
+        lab.apply_logical(control, "Z")
+    if m2:
+        lab.apply_logical(target, "X")
+    return {"m_xx": m1, "m_zz": m2, "m_x": m3, "timesteps": CNOT_TIMESTEPS_LATTICE_SURGERY}
+
+
+def transversal_cnot(lab: SurgeryLab, control: Patch, target: Patch) -> dict[str, int]:
+    """Transversal CNOT between two patches with identical layouts.
+
+    In hardware the patches share a stack: the control sits on the
+    transmons, the target in cavity mode z, and each transmon mediates one
+    CNOT onto its own mode (Fig. 6).  CSS transversality makes the physical
+    CNOTs implement the logical CNOT exactly.
+    """
+    if control.code.distance != target.code.distance:
+        raise ValueError("transversal CNOT needs equal-distance patches")
+    for coord in control.code.data_coords:
+        lab.sim.cx(control.qubit_of[coord], target.qubit_of[coord])
+    return {"timesteps": CNOT_TIMESTEPS_TRANSVERSAL}

@@ -1,0 +1,190 @@
+"""Encoded surface-code patches on a shared physical register."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pauli import PauliString
+from repro.stabilizer import TableauSimulator
+from repro.surface_code.layout import RotatedSurfaceCode
+
+__all__ = ["Patch", "SurgeryLab"]
+
+
+@dataclass
+class Patch:
+    """One encoded logical qubit: a code layout plus a physical qubit map.
+
+    ``qubit_of`` maps the code's data coordinates to global register
+    indices, so several patches (and bare reference qubits) can coexist in
+    one simulator.
+    """
+
+    name: str
+    code: RotatedSurfaceCode
+    qubit_of: dict[tuple[int, int], int]
+    register_size: int
+
+    def __post_init__(self) -> None:
+        missing = [c for c in self.code.data_coords if c not in self.qubit_of]
+        if missing:
+            raise ValueError(f"patch {self.name}: unmapped data coords {missing[:3]}")
+
+    # ------------------------------------------------------------------
+    def _embed(self, local: PauliString) -> PauliString:
+        """Lift a Pauli over the code's data qubits to the global register."""
+        assignments = []
+        for i, coord in enumerate(self.code.data_coords):
+            letter = local.letter(i)
+            if letter != "I":
+                assignments.append((self.qubit_of[coord], letter))
+        return PauliString.from_qubit_letters(self.register_size, assignments)
+
+    def logical_x(self) -> PauliString:
+        return self._embed(self.code.logical_x())
+
+    def logical_z(self) -> PauliString:
+        return self._embed(self.code.logical_z())
+
+    def logical(self, letter: str) -> PauliString:
+        if letter == "X":
+            return self.logical_x()
+        if letter == "Z":
+            return self.logical_z()
+        raise ValueError("letter must be 'X' or 'Z'")
+
+    def stabilizers(self) -> list[PauliString]:
+        return [self._embed(self.code.stabilizer_pauli(p)) for p in self.code.plaquettes]
+
+    def data_qubits(self) -> list[int]:
+        return [self.qubit_of[c] for c in self.code.data_coords]
+
+
+class SurgeryLab:
+    """A register of patches + bare qubits over one tableau simulator."""
+
+    def __init__(self, register_size: int, seed: int | None = 0):
+        self.sim = TableauSimulator(register_size, seed=seed)
+        self.register_size = register_size
+        self.patches: dict[str, Patch] = {}
+        self._next_free = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate_patch(self, name: str, distance: int) -> Patch:
+        """Allocate physical qubits for a fresh d×d patch."""
+        code = RotatedSurfaceCode(distance)
+        qubit_of = {}
+        for coord in code.data_coords:
+            qubit_of[coord] = self._take()
+        patch = Patch(name, code, qubit_of, self.register_size)
+        self.patches[name] = patch
+        return patch
+
+    def allocate_bare(self) -> int:
+        """Allocate one unencoded qubit (e.g. a tomography reference)."""
+        return self._take()
+
+    def _take(self) -> int:
+        if self._next_free >= self.register_size:
+            raise ValueError("register exhausted")
+        index = self._next_free
+        self._next_free += 1
+        return index
+
+    # ------------------------------------------------------------------
+    # Encoding and logical operations
+    # ------------------------------------------------------------------
+    def encode_zero(self, patch: Patch) -> None:
+        """Project the patch into the code space as logical |0⟩.
+
+        Data start in |0…0⟩ (a +1 eigenstate of all Z checks and of Z_L);
+        the X checks are then measured with outcomes pinned to +1 —
+        equivalent to measuring and applying the standard Z-chain fixups.
+        """
+        for q in patch.data_qubits():
+            self.sim.reset(q)
+        for stabilizer in patch.stabilizers():
+            if stabilizer.xs.any():
+                self.sim.measure_pauli(stabilizer, forced_outcome=0)
+
+    def measure_joint(self, ops: list[tuple[Patch, str]]) -> int:
+        """Measure a joint logical Pauli product, e.g. X_A ⊗ X_B.
+
+        This is the operator-level action of a lattice-surgery merge+split
+        (Fig. 4b/4c): the merged patch's stabilizer measurements jointly
+        realize exactly this projective measurement, fault-tolerantly.
+        """
+        product = PauliString.identity(self.register_size)
+        for patch, letter in ops:
+            product = product * patch.logical(letter)
+        return self.sim.measure_pauli(product)
+
+    def measure_logical(self, patch: Patch, letter: str) -> int:
+        """Destructively read out one logical qubit in the X or Z basis."""
+        return self.sim.measure_pauli(patch.logical(letter))
+
+    def apply_logical(self, patch: Patch, letter: str) -> None:
+        """Apply a logical Pauli (always transversal on the surface code)."""
+        self.sim.apply_pauli(patch.logical(letter))
+
+    def logical_expectation(self, patch: Patch, letter: str) -> int:
+        """⟨logical P⟩ as ±1 or 0 without collapsing."""
+        return self.sim.peek_pauli_expectation(patch.logical(letter))
+
+    def check_codespace(self, patch: Patch) -> bool:
+        """True when every stabilizer of the patch is deterministically +1."""
+        return all(
+            self.sim.peek_pauli_expectation(s) == 1 for s in patch.stabilizers()
+        )
+
+    def restore_codespace(self, patch: Patch) -> None:
+        """Apply Pauli fixups returning every stabilizer to +1.
+
+        After a split, re-measured checks come out ±1 at random; hardware
+        absorbs the −1s into the decoder's Pauli frame.  Here we apply the
+        equivalent physical correction: a GF(2) solve finds a Z-type Pauli
+        anticommuting with exactly the flipped X checks (and commuting with
+        logical X), and symmetrically an X-type Pauli for flipped Z checks.
+        Logical values are untouched.
+        """
+        from repro.surgery.algebra import gf2_solve
+
+        data = patch.data_qubits()
+        for check_basis, fix_letter, logical in (
+            ("X", "Z", patch.logical_x()),
+            ("Z", "X", patch.logical_z()),
+        ):
+            checks = [
+                s for s in patch.stabilizers() if (s.xs.any() if check_basis == "X" else s.zs.any())
+            ]
+            flips = []
+            for s in checks:
+                expectation = self.sim.peek_pauli_expectation(s)
+                if expectation == 0:
+                    raise ValueError("patch is not in a definite stabilizer state")
+                flips.append(0 if expectation == 1 else 1)
+            if not any(flips):
+                continue
+            support = lambda p: p.xs if check_basis == "X" else p.zs
+            # One generator per candidate fixup qubit: its overlap pattern
+            # with every check plus the stay-logical constraint row.
+            generators = []
+            for q in data:
+                column = [int(support(s)[q]) for s in checks]
+                column.append(int(support(logical)[q]))
+                generators.append(np.array(column, dtype=np.uint8))
+            target = np.array(flips + [0], dtype=np.uint8)
+            solution = gf2_solve(generators, target)
+            if solution is None:  # pragma: no cover - randomness is correctable
+                raise RuntimeError("no codespace-restoring Pauli exists")
+            assignments = [
+                (q, fix_letter) for q, coefficient in zip(data, solution) if coefficient
+            ]
+            if assignments:
+                self.sim.apply_pauli(
+                    PauliString.from_qubit_letters(self.register_size, assignments)
+                )

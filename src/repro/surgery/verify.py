@@ -1,0 +1,80 @@
+"""Process tomography of the logical CNOT implementations (§III-B).
+
+"Figure 6 demonstrates this for the transversal CNOT gate which we
+verified via process tomography to apply the expected CNOT unitary in
+simulation" — reproduced here exactly, for both CNOT flavours, using the
+logical-Bell (Choi state) tomography of :mod:`repro.stabilizer.tomography`.
+"""
+
+from __future__ import annotations
+
+from repro.stabilizer.tomography import (
+    LogicalQubitSpec,
+    clifford_process_map,
+    process_map_equals_cnot,
+)
+from repro.surgery.operations import lattice_surgery_cnot, transversal_cnot
+from repro.surgery.patches import SurgeryLab
+
+__all__ = [
+    "tomography_of_lattice_surgery_cnot",
+    "tomography_of_transversal_cnot",
+]
+
+
+def _build_lab(distance: int, patch_names: list[str], seed: int):
+    num_data = distance * distance
+    register = num_data * len(patch_names) + 2  # + two reference qubits
+    lab = SurgeryLab(register, seed=seed)
+    patches = [lab.allocate_patch(name, distance) for name in patch_names]
+    refs = [lab.allocate_bare(), lab.allocate_bare()]
+    return lab, patches, refs
+
+
+def tomography_of_transversal_cnot(distance: int = 3, seed: int = 0):
+    """Process map of the transversal CNOT; returns (map, is_cnot)."""
+    lab, (control, target), refs = _build_lab(distance, ["control", "target"], seed)
+
+    def prepare(sim):
+        lab.encode_zero(control)
+        lab.encode_zero(target)
+
+    def channel(sim):
+        transversal_cnot(lab, control, target)
+
+    specs = [
+        LogicalQubitSpec(refs[0], control.logical_x(), control.logical_z()),
+        LogicalQubitSpec(refs[1], target.logical_x(), target.logical_z()),
+    ]
+    process_map = clifford_process_map(
+        lab.register_size, prepare, channel, specs, seed=seed, sim=lab.sim
+    )
+    return process_map, process_map_equals_cnot(process_map)
+
+
+def tomography_of_lattice_surgery_cnot(distance: int = 3, seed: int = 0):
+    """Process map of the full merge/split CNOT; returns (map, is_cnot).
+
+    Exercises all measurement-outcome branches across seeds because the
+    intermediate merge outcomes are random.
+    """
+    lab, (control, target, ancilla), refs = _build_lab(
+        distance, ["control", "target", "ancilla"], seed
+    )
+
+    def prepare(sim):
+        lab.encode_zero(control)
+        lab.encode_zero(target)
+        lab.encode_zero(ancilla)
+
+    def channel(sim):
+        lattice_surgery_cnot(lab, control, target, ancilla)
+
+    specs = [
+        LogicalQubitSpec(refs[0], control.logical_x(), control.logical_z()),
+        LogicalQubitSpec(refs[1], target.logical_x(), target.logical_z()),
+    ]
+    process_map = clifford_process_map(
+        lab.register_size, prepare, channel, specs, seed=seed, sim=lab.sim
+    )
+    return process_map, process_map_equals_cnot(process_map)

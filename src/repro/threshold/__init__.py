@@ -1,0 +1,25 @@
+"""Threshold estimation (Fig. 11) and error-sensitivity studies (Fig. 12)."""
+
+from repro.threshold.estimator import (
+    SCHEMES,
+    ThresholdStudy,
+    build_memory_circuit,
+    estimate_threshold,
+)
+from repro.threshold.sensitivity import (
+    SENSITIVITY_PANELS,
+    SensitivityPanel,
+    cavity_size_crossover,
+    run_sensitivity_panel,
+)
+
+__all__ = [
+    "SCHEMES",
+    "SENSITIVITY_PANELS",
+    "SensitivityPanel",
+    "ThresholdStudy",
+    "build_memory_circuit",
+    "cavity_size_crossover",
+    "estimate_threshold",
+    "run_sensitivity_panel",
+]

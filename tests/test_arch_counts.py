@@ -1,0 +1,98 @@
+"""Tests for the hardware-cost formulas against the paper's numbers."""
+
+import pytest
+
+from repro.arch import (
+    CompactLayout,
+    compact_cavities,
+    compact_transmons,
+    lattice_tiles_transmons,
+    natural_cavities,
+    natural_transmons,
+    total_qubits,
+    transmon_savings_factor,
+)
+from repro.surface_code import RotatedSurfaceCode
+
+
+class TestPaperNumbers:
+    def test_proof_of_concept_11_transmons_9_cavities(self):
+        # §I / §VIII: "requiring only 11 transmons and 9 attached cavities".
+        assert compact_transmons(3) == 11
+        assert compact_cavities(3) == 9
+
+    def test_table2_vqubits_natural(self):
+        assert natural_transmons(5) == 49
+        assert natural_cavities(5) == 25
+        assert total_qubits(49, 25, 10) == 299
+
+    def test_table2_vqubits_compact(self):
+        assert compact_transmons(5) == 29
+        assert compact_cavities(5) == 25
+        assert total_qubits(29, 25, 10) == 279
+
+    def test_table2_fast_lattice(self):
+        assert lattice_tiles_transmons(30, 5) == 1499
+
+    def test_table2_small_lattice(self):
+        assert lattice_tiles_transmons(11, 5) == 549
+
+    def test_single_tile_matches_natural(self):
+        for d in (3, 5, 7, 9):
+            assert lattice_tiles_transmons(1, d) == natural_transmons(d)
+
+    def test_savings_factors(self):
+        # ~10x from virtualization (k=10), ~2x more from Compact (§I).
+        natural = transmon_savings_factor(5, 10, compact=False)
+        compact = transmon_savings_factor(5, 10, compact=True)
+        assert natural == pytest.approx(10.0)
+        assert compact / natural == pytest.approx(49 / 29)
+        assert compact == pytest.approx(16.9, abs=0.1)
+
+
+class TestConstructiveAgreement:
+    """The closed forms must match the constructive Compact layout."""
+
+    @pytest.mark.parametrize("d", [2, 3, 5, 7, 9, 11])
+    def test_compact_layout_matches_formula(self, d):
+        layout = CompactLayout(RotatedSurfaceCode(d))
+        assert layout.num_transmons == compact_transmons(d)
+        assert layout.num_cavities == compact_cavities(d)
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_unmerged_count_is_d_minus_1(self, d):
+        layout = CompactLayout(RotatedSurfaceCode(d))
+        assert len(layout.unmerged_cells) == d - 1
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_hosts_unique(self, d):
+        layout = CompactLayout(RotatedSurfaceCode(d))
+        hosts = [h for h in layout.host.values() if h is not None]
+        assert len(hosts) == len(set(hosts)), "two checks merged onto one transmon"
+
+    @pytest.mark.parametrize("d", [3, 5])
+    def test_merge_corners_follow_fig7(self, d):
+        code = RotatedSurfaceCode(d)
+        layout = CompactLayout(code)
+        for p in code.plaquettes:
+            host = layout.host_of(p)
+            if host is None:
+                continue
+            expected = p.corner("NE") if p.basis == "Z" else p.corner("SW")
+            assert host == expected
+
+
+class TestValidation:
+    def test_rejects_tiny_distance(self):
+        with pytest.raises(ValueError):
+            natural_transmons(1)
+        with pytest.raises(ValueError):
+            compact_transmons(0)
+
+    def test_rejects_zero_tiles(self):
+        with pytest.raises(ValueError):
+            lattice_tiles_transmons(0, 5)
+
+    def test_rejects_negative_totals(self):
+        with pytest.raises(ValueError):
+            total_qubits(-1, 0, 0)

@@ -1,0 +1,122 @@
+"""Tests for the circuit IR."""
+
+import pytest
+
+from repro.circuits import Circuit, GateKind, Instruction
+
+
+class TestInstruction:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("FOO", (0,))
+
+    def test_pair_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Instruction("CX", (0, 1, 2))
+
+    def test_pair_targets_must_differ(self):
+        with pytest.raises(ValueError):
+            Instruction("CX", (3, 3))
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError):
+            Instruction("DEPOLARIZE1", (0,), (1.5,))
+
+    def test_missing_args_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("DEPOLARIZE1", (0,))
+
+    def test_measure_args_optional(self):
+        assert Instruction("M", (0,)).args == ()
+        assert Instruction("M", (0,), (0.1,)).args == (0.1,)
+
+    def test_target_groups(self):
+        ins = Instruction("CX", (0, 1, 2, 3))
+        assert ins.target_groups() == [(0, 1), (2, 3)]
+
+    def test_kind(self):
+        assert Instruction("H", (0,)).kind is GateKind.UNITARY1
+        assert Instruction("DEPOLARIZE2", (0, 1), (0.1,)).kind is GateKind.NOISE2
+
+    def test_str(self):
+        assert "CX" in str(Instruction("CX", (0, 1)))
+
+
+class TestCircuit:
+    def test_num_qubits_grows(self):
+        c = Circuit()
+        c.h(5)
+        assert c.num_qubits == 6
+
+    def test_measure_returns_indices(self):
+        c = Circuit()
+        assert c.measure(0, 1) == [0, 1]
+        assert c.measure(2) == [2]
+        assert c.num_measurements == 3
+
+    def test_detector_validation(self):
+        c = Circuit()
+        c.measure(0)
+        c.add_detector([0], coord=(0, 0, 0), basis="Z")
+        with pytest.raises(ValueError):
+            c.add_detector([5])
+
+    def test_detector_bad_basis(self):
+        c = Circuit()
+        c.measure(0)
+        with pytest.raises(ValueError):
+            c.add_detector([0], basis="Q")
+
+    def test_observable(self):
+        c = Circuit()
+        c.measure(0, 1)
+        idx = c.add_observable([0, 1], basis="Z")
+        assert idx == 0
+        assert c.observables[0].measurements == (0, 1)
+
+    def test_noise_helpers_skip_zero_probability(self):
+        c = Circuit()
+        c.depolarize1([0], 0.0)
+        assert len(c) == 0
+        c.depolarize1([0], 0.1)
+        assert len(c) == 1
+
+    def test_without_noise(self):
+        c = Circuit()
+        c.h(0)
+        c.depolarize1([0], 0.1)
+        c.measure(0, flip_probability=0.2)
+        c.add_detector([0])
+        clean = c.without_noise()
+        assert clean.noise_instruction_count() == 0
+        assert clean.num_measurements == 1
+        assert len(clean.detectors) == 1
+
+    def test_noise_instruction_count_includes_flips(self):
+        c = Circuit()
+        c.depolarize1([0], 0.1)
+        c.measure(0, flip_probability=0.2)
+        assert c.noise_instruction_count() == 2
+
+    def test_concatenation_shifts_measurements(self):
+        a = Circuit()
+        a.measure(0)
+        b = Circuit()
+        b.measure(1)
+        b.add_detector([0])
+        a += b
+        assert a.num_measurements == 2
+        assert a.detectors[0].measurements == (1,)
+
+    def test_negative_target_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.h(-1)
+
+    def test_str_contains_annotations(self):
+        c = Circuit()
+        c.measure(0)
+        c.add_detector([0])
+        c.add_observable([0])
+        text = str(c)
+        assert "DETECTOR" in text and "OBSERVABLE" in text

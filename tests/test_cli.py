@@ -1,0 +1,32 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "1499" in out and "279" in out
+
+    def test_magic(self, capsys):
+        assert main(["magic"]) == 0
+        out = capsys.readouterr().out
+        assert "1.22x" in out and "1.82x" in out
+
+    def test_inventory(self, capsys):
+        assert main(["inventory", "--grid", "1", "--distance", "3", "--modes", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "transmons        : 11" in out
+        assert "cavities         : 9" in out
+
+    def test_threshold_quick(self, capsys):
+        assert main(["threshold", "--scheme", "baseline", "--shots", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "threshold estimate" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,260 @@
+"""Tests for the VLQ core: addressing, paging, refresh, compilation."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_COSTS,
+    LogicalProgram,
+    Machine,
+    MemoryManager,
+    OutOfMemoryError,
+    RefreshScheduler,
+    VirtualAddress,
+    compile_program,
+)
+
+
+class TestMachine:
+    def test_capacity(self):
+        m = Machine(stack_grid=(2, 2), cavity_modes=10, distance=5)
+        assert m.num_stacks == 4
+        assert m.logical_capacity == 40
+
+    def test_compact_inventory_matches_paper(self):
+        m = Machine(stack_grid=(1, 1), cavity_modes=10, distance=5, embedding="compact")
+        assert m.transmons_per_stack == 29
+        assert m.cavities_per_stack == 25
+        assert m.total_qubits == 279  # Table II, VQubits (compact)
+
+    def test_proof_of_concept_machine(self):
+        m = Machine(stack_grid=(1, 1), cavity_modes=10, distance=3, embedding="compact")
+        assert m.transmons_per_stack == 11
+        assert m.cavities_per_stack == 9
+
+    def test_contains(self):
+        m = Machine(stack_grid=(2, 1), cavity_modes=4)
+        assert m.contains(VirtualAddress((1, 0), 3))
+        assert not m.contains(VirtualAddress((2, 0), 0))
+        assert not m.contains(VirtualAddress((0, 0), 4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Machine(embedding="diagonal")
+        with pytest.raises(ValueError):
+            Machine(stack_grid=(0, 1))
+        with pytest.raises(ValueError):
+            VirtualAddress((0, 0), -1)
+
+
+class TestMemoryManager:
+    def test_allocate_respects_free_mode_invariant(self):
+        m = Machine(stack_grid=(1, 1), cavity_modes=3)
+        manager = MemoryManager(m)
+        manager.allocate(0)
+        manager.allocate(1)
+        with pytest.raises(OutOfMemoryError):
+            manager.allocate(2)  # third mode is the reserved channel
+
+    def test_invariant_can_be_disabled(self):
+        m = Machine(stack_grid=(1, 1), cavity_modes=3)
+        manager = MemoryManager(m, reserve_free_mode=False)
+        for q in range(3):
+            manager.allocate(q)
+        with pytest.raises(OutOfMemoryError):
+            manager.allocate(3)
+
+    def test_preferred_stack(self):
+        m = Machine(stack_grid=(2, 1), cavity_modes=4)
+        manager = MemoryManager(m)
+        addr = manager.allocate(7, preferred_stack=(1, 0))
+        assert addr.stack == (1, 0)
+
+    def test_spill_to_other_stack(self):
+        m = Machine(stack_grid=(2, 1), cavity_modes=2)
+        manager = MemoryManager(m)
+        manager.allocate(0, preferred_stack=(0, 0))
+        addr = manager.allocate(1, preferred_stack=(0, 0))
+        assert addr.stack == (1, 0)  # first stack full (1 usable mode)
+
+    def test_load_serialization(self):
+        m = Machine(stack_grid=(1, 1), cavity_modes=4)
+        manager = MemoryManager(m)
+        manager.allocate(0)
+        manager.allocate(1)
+        manager.load(0)
+        with pytest.raises(RuntimeError):
+            manager.load(1)
+        manager.store(0)
+        manager.load(1)
+
+    def test_move_consumes_landing_mode(self):
+        m = Machine(stack_grid=(2, 1), cavity_modes=2)
+        manager = MemoryManager(m)
+        manager.allocate(0, preferred_stack=(0, 0))
+        new = manager.move(0, (1, 0))
+        assert new.stack == (1, 0)
+        assert manager.residents((0, 0)) == []
+
+    def test_move_requires_room(self):
+        m = Machine(stack_grid=(2, 1), cavity_modes=1)
+        manager = MemoryManager(m, reserve_free_mode=False)
+        manager.allocate(0, preferred_stack=(0, 0))
+        manager.allocate(1, preferred_stack=(1, 0))
+        with pytest.raises(OutOfMemoryError):
+            manager.move(0, (1, 0))
+
+    def test_deallocate_frees_mode(self):
+        m = Machine(stack_grid=(1, 1), cavity_modes=2)
+        manager = MemoryManager(m)
+        manager.allocate(0)
+        manager.deallocate(0)
+        manager.allocate(1)  # reuses the freed mode
+
+    def test_utilization(self):
+        m = Machine(stack_grid=(1, 1), cavity_modes=3)
+        manager = MemoryManager(m)
+        assert manager.utilization() == 0.0
+        manager.allocate(0)
+        assert manager.utilization() == pytest.approx(0.5)
+
+
+class TestRefresh:
+    def make(self, k=4, qubits=3):
+        machine = Machine(stack_grid=(1, 1), cavity_modes=k)
+        manager = MemoryManager(machine)
+        scheduler = RefreshScheduler(manager)
+        for q in range(qubits):
+            manager.allocate(q)
+            scheduler.track(q)
+        return manager, scheduler
+
+    def test_round_robin_meets_deadline(self):
+        _, scheduler = self.make(k=4, qubits=3)
+        for _ in range(40):
+            scheduler.tick()
+        assert scheduler.violations == []
+        assert scheduler.max_staleness_seen <= 3
+
+    def test_busy_stack_skips_refresh(self):
+        manager, scheduler = self.make(k=4, qubits=3)
+        refreshed = scheduler.tick(busy_stacks={(0, 0)})
+        assert refreshed == []
+
+    def test_deadline_violation_detected(self):
+        manager, scheduler = self.make(k=2, qubits=1)
+        for _ in range(5):
+            scheduler.tick(busy_stacks={(0, 0)})
+        assert scheduler.violations, "starved qubit must be flagged"
+
+    def test_operations_count_as_refresh(self):
+        _, scheduler = self.make(k=4, qubits=2)
+        for _ in range(3):
+            scheduler.tick(busy_stacks={(0, 0)})
+            scheduler.note_operation([0, 1])
+        assert scheduler.violations == []
+
+
+class TestCompiler:
+    def test_colocated_cnot_is_transversal(self):
+        program = LogicalProgram().alloc(0, 1).cnot(0, 1)
+        machine = Machine(stack_grid=(2, 2), cavity_modes=10, distance=3)
+        schedule = compile_program(program, machine)
+        assert schedule.cnot_transversal == 1
+        assert schedule.cnot_surgery == 0
+
+    def test_surgery_only_policy(self):
+        program = LogicalProgram().alloc(0, 1).cnot(0, 1)
+        machine = Machine(stack_grid=(2, 2), cavity_modes=10, distance=3)
+        schedule = compile_program(program, machine, policy="surgery_only")
+        assert schedule.cnot_surgery == 1
+        assert schedule.total_timesteps >= DEFAULT_COSTS.lattice_surgery_cnot
+
+    def test_transversal_is_6x_faster_than_surgery(self):
+        program = LogicalProgram().alloc(0, 1)
+        for _ in range(10):
+            program.cnot(0, 1)
+        machine = Machine(stack_grid=(2, 2), cavity_modes=10, distance=3)
+        fast = compile_program(program, machine, insert_refresh=False)
+        slow = compile_program(
+            program, machine, policy="surgery_only", insert_refresh=False
+        )
+
+        def cnot_time(schedule):
+            alloc_end = max(e.end for e in schedule.events if e.name == "ALLOC")
+            return schedule.total_timesteps - alloc_end
+
+        assert cnot_time(slow) == 6 * cnot_time(fast)
+
+    def test_cross_stack_prefers_move(self):
+        # Two qubits forced onto different stacks by tiny capacity.
+        program = LogicalProgram().alloc(0, 1).cnot(0, 1)
+        machine = Machine(stack_grid=(2, 1), cavity_modes=2, distance=3)
+        schedule = compile_program(program, machine)
+        assert schedule.cnot_with_move == 1
+
+    def test_cross_stack_full_falls_back_to_surgery(self):
+        program = LogicalProgram().alloc(0, 1).cnot(0, 1)
+        machine = Machine(stack_grid=(2, 1), cavity_modes=1, distance=3)
+        from repro.core import MemoryManager
+
+        manager = MemoryManager(machine, reserve_free_mode=False)
+        schedule = compile_program(program, machine, manager=manager)
+        assert schedule.cnot_surgery == 1
+
+    def test_ghz_within_one_stack_all_transversal(self):
+        program = LogicalProgram.ghz(8)
+        machine = Machine(stack_grid=(2, 2), cavity_modes=10, distance=3)
+        schedule = compile_program(program, machine)
+        assert schedule.cnot_transversal == 7
+        assert schedule.refresh_violations == 0
+
+    def test_refresh_runs_alongside_program(self):
+        # Qubits 2,3 never interact with 0,1; the clustering allocator puts
+        # them on different stacks, which stay idle during the CNOT burst
+        # and must background-refresh their residents.
+        program = LogicalProgram().alloc(0, 1, 2, 3)
+        for _ in range(6):
+            program.cnot(0, 1)
+        machine = Machine(stack_grid=(2, 2), cavity_modes=10, distance=3)
+        schedule = compile_program(program, machine)
+        assert schedule.refresh_rounds > 0
+        assert schedule.refresh_violations == 0
+
+    def test_pauli_gates_are_free(self):
+        program = LogicalProgram().alloc(0).x(0).z(0)
+        machine = Machine(stack_grid=(1, 1), cavity_modes=4, distance=3)
+        schedule = compile_program(program, machine)
+        assert schedule.total_timesteps == DEFAULT_COSTS.allocate
+
+    def test_timeline_renders(self):
+        program = LogicalProgram.ghz(3)
+        machine = Machine(stack_grid=(2, 2), cavity_modes=10, distance=3)
+        schedule = compile_program(program, machine)
+        text = schedule.timeline()
+        assert "CNOT" in text and "total:" in text
+
+    def test_unknown_policy(self):
+        program = LogicalProgram().alloc(0)
+        with pytest.raises(ValueError):
+            compile_program(program, Machine(), policy="vibes")
+
+
+class TestProgramIR:
+    def test_builder_validation(self):
+        program = LogicalProgram()
+        with pytest.raises(ValueError):
+            program.h(0)  # not allocated
+        program.alloc(0)
+        with pytest.raises(ValueError):
+            program.alloc(0)  # double alloc
+        with pytest.raises(ValueError):
+            program.cnot(0, 0)  # same operand
+
+    def test_ghz_shape(self):
+        program = LogicalProgram.ghz(5)
+        assert program.num_qubits == 5
+        assert program.cnot_count() == 4
+
+    def test_str(self):
+        program = LogicalProgram().alloc(0, 1).cnot(0, 1)
+        assert "CNOT q0 q1" in str(program)

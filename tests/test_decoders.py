@@ -1,0 +1,177 @@
+"""Tests for the matching graph, MWPM and union-find decoders."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.decoders import MatchingGraph, MWPMDecoder, UnionFindDecoder, make_decoder
+from repro.decoders.graph import DecodingEdge, probability_to_weight
+from repro.dem import DetectorErrorModel
+from repro.noise import BASELINE_HARDWARE, MEMORY_HARDWARE, ErrorModel
+from repro.surface_code import baseline_memory_circuit
+from repro.arch import compact_memory_circuit
+
+
+def line_graph(obs_on_last=True):
+    """0 - 1 - 2 - boundary, uniform probability, observable on the
+    boundary edge."""
+    g = MatchingGraph(3, "Z")
+    g.add_edge(0, 1, 0.01, 0)
+    g.add_edge(1, 2, 0.01, 0)
+    g.add_edge(2, g.boundary, 0.01, 1 if obs_on_last else 0)
+    g.add_edge(0, g.boundary, 0.01, 1)
+    return g
+
+
+class TestGraph:
+    def test_weight_formula(self):
+        assert probability_to_weight(0.5) == pytest.approx(0.0, abs=1e-6)
+        assert probability_to_weight(0.01) == pytest.approx(4.595, abs=1e-3)
+
+    def test_edge_merging_xor(self):
+        g = MatchingGraph(2, "Z")
+        g.add_edge(0, 1, 0.1, 0)
+        g.add_edge(0, 1, 0.1, 0)
+        assert g.num_edges == 1
+        assert g.edges[0].probability == pytest.approx(0.18)
+
+    def test_merge_keeps_heavier_observable(self):
+        g = MatchingGraph(2, "Z")
+        g.add_edge(0, 1, 0.01, 1)
+        g.add_edge(0, 1, 0.3, 0)
+        assert g.edges[0].observables == 0
+
+    def test_self_loop_rejected(self):
+        g = MatchingGraph(2, "Z")
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1, 0.1, 0)
+
+    def test_neighbors(self):
+        g = line_graph()
+        adj = g.neighbors()
+        assert len(adj[1]) == 2
+        assert len(adj[g.boundary]) == 2
+
+    def test_from_dem_baseline(self):
+        em = ErrorModel(hardware=BASELINE_HARDWARE, p=2e-3)
+        dem = DetectorErrorModel(baseline_memory_circuit(3, em).circuit)
+        g = MatchingGraph.from_dem(dem, "Z")
+        assert g.num_detectors == len(dem.basis_detectors("Z"))
+        assert g.num_edges > g.num_detectors  # space + time + boundary edges
+        assert g.undetectable_probability == 0.0
+
+    def test_decomposition_of_long_mechanism(self):
+        g = MatchingGraph(4, "Z")
+        g.add_edge(0, 1, 0.01, 0)
+        g.add_edge(2, 3, 0.01, 1)
+        from repro.dem.model import FaultMechanism
+
+        g._decompose(FaultMechanism(0.001, (0, 1, 2, 3), (0,)))
+        # Both known pairs were reused; no boundary edge was invented.
+        assert g.edge_between(0, g.boundary) is None
+        assert g.decomposed_mechanisms == 1
+
+
+@pytest.fixture(params=["mwpm", "unionfind"])
+def decoder_name(request):
+    return request.param
+
+
+class TestDecodersOnLineGraph:
+    def test_empty_syndrome(self, decoder_name):
+        decoder = make_decoder(decoder_name, line_graph())
+        assert decoder.decode([]) == 0
+
+    def test_adjacent_pair_matches_directly(self, decoder_name):
+        decoder = make_decoder(decoder_name, line_graph())
+        # Events 0,1: direct edge (weight w) beats two boundary paths.
+        assert decoder.decode([0, 1]) == 0
+
+    def test_single_event_goes_to_nearest_boundary(self, decoder_name):
+        decoder = make_decoder(decoder_name, line_graph())
+        assert decoder.decode([0]) == 1  # via its boundary edge, obs=1
+
+    def test_middle_event(self, decoder_name):
+        g = line_graph()
+        decoder = make_decoder(decoder_name, g)
+        # Event 1 must exit through one of the boundaries (2 hops each,
+        # both with obs=1 on the boundary edge).
+        assert decoder.decode([1]) == 1
+
+    def test_three_events(self, decoder_name):
+        decoder = make_decoder(decoder_name, line_graph())
+        # 0-1 pair directly, 2 to its adjacent boundary (obs 1).
+        assert decoder.decode([0, 1, 2]) == 1
+
+    def test_unknown_decoder_rejected(self):
+        with pytest.raises(ValueError):
+            make_decoder("telepathy", line_graph())
+
+
+class TestMWPMInternals:
+    def test_potentials_consistency_check(self):
+        # A frustrated cycle (odd observable parity) must be rejected.
+        g = MatchingGraph(3, "Z")
+        g.add_edge(0, 1, 0.01, 1)
+        g.add_edge(1, 2, 0.01, 0)
+        g.add_edge(0, 2, 0.01, 0)
+        with pytest.raises(ValueError):
+            MWPMDecoder(g)
+
+    def test_through_boundary_matching(self):
+        # Two events each adjacent to the boundary but far from each other:
+        # matching both to the boundary must beat the long direct edge.
+        g = MatchingGraph(2, "Z")
+        g.add_edge(0, g.boundary, 0.2, 1)
+        g.add_edge(1, g.boundary, 0.2, 0)
+        g.add_edge(0, 1, 0.0001, 0)
+        decoder = MWPMDecoder(g)
+        assert decoder.decode([0, 1]) == 1
+
+
+class TestDecoderAgreement:
+    """UF must track MWPM closely on real circuit-level graphs."""
+
+    @pytest.mark.parametrize("builder_name", ["baseline", "compact"])
+    def test_single_faults_decoded_perfectly(self, builder_name):
+        if builder_name == "baseline":
+            em = ErrorModel(hardware=BASELINE_HARDWARE, p=2e-3)
+            circuit = baseline_memory_circuit(3, em).circuit
+        else:
+            em = ErrorModel(hardware=MEMORY_HARDWARE, p=2e-3)
+            circuit = compact_memory_circuit(3, em).circuit
+        dem = DetectorErrorModel(circuit)
+        g = MatchingGraph.from_dem(dem, "Z")
+        for name in ("mwpm", "unionfind"):
+            decoder = make_decoder(name, g)
+            for fault in dem.projected("Z"):
+                obs = 0
+                for j in fault.observables:
+                    obs |= 1 << j
+                assert decoder.decode(list(fault.detectors)) == obs, (
+                    name,
+                    fault,
+                )
+
+    def test_pairwise_fault_agreement_rate(self):
+        em = ErrorModel(hardware=BASELINE_HARDWARE, p=2e-3)
+        dem = DetectorErrorModel(baseline_memory_circuit(3, em).circuit)
+        g = MatchingGraph.from_dem(dem, "Z")
+        mwpm = MWPMDecoder(g)
+        uf = UnionFindDecoder(g)
+        faults = dem.projected("Z")
+        rng = random.Random(1)
+        pairs = rng.sample(list(itertools.combinations(range(len(faults)), 2)), 300)
+        mwpm_fails = uf_fails = 0
+        for i, j in pairs:
+            dets = sorted(set(faults[i].detectors) ^ set(faults[j].detectors))
+            obs = 0
+            for k in faults[i].observables:
+                obs ^= 1 << k
+            for k in faults[j].observables:
+                obs ^= 1 << k
+            mwpm_fails += mwpm.decode(dets) != obs
+            uf_fails += uf.decode(dets) != obs
+        # Union-find may lose a little accuracy, but not much.
+        assert uf_fails <= mwpm_fails * 1.3 + 5

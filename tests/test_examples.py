@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run and print its headline.
+
+``threshold_study.py`` is exercised implicitly through the threshold
+benches (it is a long sweep); the other four run here end-to-end.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "transmons: 11" in out
+    assert "cavities: 9" in out
+    assert "Logical error rate" in out
+
+
+def test_magic_state_factory():
+    out = run_example("magic_state_factory.py")
+    assert "1.22x" in out and "1.82x" in out
+    assert "279" in out
+
+
+def test_transversal_cnot_tomography():
+    out = run_example("transversal_cnot_tomography.py")
+    assert out.count("matches ideal CNOT: True") >= 4
+    assert "expected 0" in out and "expected 1" in out
+
+
+def test_virtualized_program():
+    out = run_example("virtualized_program.py")
+    assert "transversal" in out
+    assert "all equal => GHZ" in out
+    assert "<X X X> = 1" in out

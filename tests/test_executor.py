@@ -1,0 +1,81 @@
+"""Tests for the schedule executor: compiled plans vs quantum semantics."""
+
+import pytest
+
+from repro.core import LogicalProgram, Machine, compile_program
+from repro.core.executor import execute_schedule
+
+
+def compile_and_run(program, machine=None, distance=3, seed=0, **kwargs):
+    machine = machine or Machine(stack_grid=(2, 2), cavity_modes=10, distance=distance)
+    schedule = compile_program(program, machine, **kwargs)
+    return schedule, execute_schedule(program, schedule, distance=distance, seed=seed)
+
+
+class TestBellAndGHZ:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bell_pair_correlations(self, seed):
+        program = LogicalProgram().alloc(0, 1).h(0).cnot(0, 1)
+        _, result = compile_and_run(program, seed=seed)
+        joint_x = result.patches[0].logical_x() * result.patches[1].logical_x()
+        joint_z = result.patches[0].logical_z() * result.patches[1].logical_z()
+        assert result.lab.sim.peek_pauli_expectation(joint_x) == 1
+        assert result.lab.sim.peek_pauli_expectation(joint_z) == 1
+
+    def test_ghz_measurements_agree(self):
+        program = LogicalProgram.ghz(4)
+        for q in range(4):
+            program.measure_z(q)
+        _, result = compile_and_run(program, seed=5)
+        outcomes = [result.measurements[q] for q in range(4)]
+        assert len(set(outcomes)) == 1
+
+    def test_surgery_policy_gives_same_state(self):
+        # The same logical program executed via lattice-surgery CNOTs must
+        # produce the same correlations as transversal ones.
+        program = LogicalProgram().alloc(0, 1).h(0).cnot(0, 1)
+        _, result = compile_and_run(program, policy="surgery_only", seed=2)
+        joint_x = result.patches[0].logical_x() * result.patches[1].logical_x()
+        assert result.lab.sim.peek_pauli_expectation(joint_x) == 1
+
+
+class TestClassicalOps:
+    def test_x_flips_readout(self):
+        program = LogicalProgram().alloc(0).x(0).measure_z(0)
+        _, result = compile_and_run(program)
+        assert result.measurements[0] == 1
+
+    def test_plus_state_reads_zero_in_x(self):
+        program = LogicalProgram().alloc(0).h(0).measure_x(0)
+        _, result = compile_and_run(program)
+        assert result.measurements[0] == 0
+
+    def test_cnot_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                program = LogicalProgram().alloc(0, 1)
+                if a:
+                    program.x(0)
+                if b:
+                    program.x(1)
+                program.cnot(0, 1).measure_z(0).measure_z(1)
+                _, result = compile_and_run(program, seed=a * 2 + b)
+                assert result.measurements[0] == a
+                assert result.measurements[1] == a ^ b
+
+
+class TestLimitations:
+    def test_mid_circuit_h_rejected(self):
+        program = LogicalProgram().alloc(0, 1).cnot(0, 1).h(0)
+        machine = Machine(stack_grid=(2, 2), cavity_modes=10, distance=3)
+        schedule = compile_program(program, machine)
+        # q0 participated in a CNOT; a later H needs patch rotation.
+        with pytest.raises(NotImplementedError):
+            execute_schedule(program, schedule)
+
+    def test_t_rejected(self):
+        program = LogicalProgram().alloc(0).t(0)
+        machine = Machine(stack_grid=(2, 2), cavity_modes=10, distance=3)
+        schedule = compile_program(program, machine)
+        with pytest.raises(NotImplementedError):
+            execute_schedule(program, schedule)

@@ -1,0 +1,172 @@
+"""Tests for the vectorized Pauli-frame simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.noise import BASELINE_HARDWARE, ErrorModel
+from repro.sim import FrameSimulator, sample_detection_data
+from repro.sim.stats import wilson_interval
+from repro.stabilizer import TableauSimulator
+from repro.surface_code import baseline_memory_circuit
+
+
+class TestDeterministic:
+    def test_noiseless_record_is_zero(self):
+        c = Circuit()
+        c.h(0)
+        c.cx(0, 1)
+        c.measure(0, 1)
+        record = FrameSimulator(c, shots=16, seed=0).run()
+        assert not record.any()
+
+    def test_forced_x_error_flips(self):
+        c = Circuit()
+        c.x_error([0], 1.0)
+        c.measure(0)
+        record = FrameSimulator(c, shots=8, seed=0).run()
+        assert record.all()
+
+    def test_z_error_invisible_in_z_basis(self):
+        c = Circuit()
+        c.z_error([0], 1.0)
+        c.measure(0)
+        record = FrameSimulator(c, shots=8, seed=0).run()
+        assert not record.any()
+
+    def test_hadamard_converts_z_to_flip(self):
+        c = Circuit()
+        c.z_error([0], 1.0)
+        c.h(0)
+        c.measure(0)
+        record = FrameSimulator(c, shots=8, seed=0).run()
+        assert record.all()
+
+    def test_cx_propagation(self):
+        c = Circuit()
+        c.x_error([0], 1.0)
+        c.cx(0, 1)
+        c.measure(0, 1)
+        record = FrameSimulator(c, shots=4, seed=0).run()
+        assert record.all()
+
+    def test_swap_moves_frame(self):
+        c = Circuit()
+        c.x_error([0], 1.0)
+        c.swap(0, 1)
+        c.measure(0, 1)
+        record = FrameSimulator(c, shots=4, seed=0).run()
+        assert not record[:, 0].any()
+        assert record[:, 1].all()
+
+    def test_reset_clears_frame(self):
+        c = Circuit()
+        c.x_error([0], 1.0)
+        c.reset(0)
+        c.measure(0)
+        record = FrameSimulator(c, shots=4, seed=0).run()
+        assert not record.any()
+
+    def test_measurement_flip_only_affects_record(self):
+        c = Circuit()
+        c.measure(0, flip_probability=1.0)
+        c.measure(0)
+        record = FrameSimulator(c, shots=4, seed=0).run()
+        assert record[:, 0].all()
+        assert not record[:, 1].any()
+
+
+class TestStatistics:
+    def test_depolarize1_flip_rate(self):
+        # X and Y (2 of 3 kinds) flip a Z-basis measurement: rate = 2p/3.
+        p = 0.3
+        c = Circuit()
+        c.append("DEPOLARIZE1", (0,), (p,))
+        c.measure(0)
+        shots = 40_000
+        record = FrameSimulator(c, shots=shots, seed=5).run()
+        rate = record.mean()
+        lo, hi = wilson_interval(int(record.sum()), shots)
+        assert lo <= 2 * p / 3 <= hi, rate
+
+    def test_depolarize2_marginal(self):
+        # Each qubit of a pair sees an X-component with rate 8p/15.
+        p = 0.3
+        c = Circuit()
+        c.append("DEPOLARIZE2", (0, 1), (p,))
+        c.measure(0, 1)
+        shots = 40_000
+        record = FrameSimulator(c, shots=shots, seed=6).run()
+        for col in range(2):
+            lo, hi = wilson_interval(int(record[:, col].sum()), shots)
+            assert lo <= 8 * p / 15 <= hi
+
+    def test_agrees_with_tableau_monte_carlo(self):
+        # Same noisy circuit, same physics: flip rates must agree.
+        c = Circuit()
+        c.h(0)
+        c.append("DEPOLARIZE1", (0,), (0.4,))
+        c.h(0)
+        c.measure(0)
+        shots = 4000
+        frame_record = FrameSimulator(c, shots=shots, seed=7).run()
+        tableau_hits = 0
+        for seed in range(shots // 10):
+            sim = TableauSimulator(1, seed=seed)
+            tableau_hits += sim.run(c)[0]
+        frame_rate = frame_record.mean()
+        tableau_rate = tableau_hits / (shots // 10)
+        assert frame_rate == pytest.approx(tableau_rate, abs=0.06)
+
+
+class TestDetectionData:
+    def test_noiseless_detectors_quiet(self):
+        # p = 0 kills gate errors; infinite T1 kills idle/storage errors.
+        em = ErrorModel(
+            hardware=BASELINE_HARDWARE,
+            p=0.0,
+            scale_coherence=False,
+            t1_transmon_override=float("inf"),
+        )
+        memory = baseline_memory_circuit(3, em)
+        data = sample_detection_data(memory.circuit, shots=32, seed=0)
+        assert not data.detectors.any()
+        assert not data.observables.any()
+
+    def test_noisy_detectors_fire(self):
+        em = ErrorModel(hardware=BASELINE_HARDWARE, p=0.05)
+        memory = baseline_memory_circuit(3, em)
+        data = sample_detection_data(memory.circuit, shots=64, seed=0)
+        assert data.detectors.any()
+        assert data.shots == 64
+
+    def test_detector_rate_scales_with_p(self):
+        rates = []
+        for p in (1e-3, 1e-2):
+            em = ErrorModel(hardware=BASELINE_HARDWARE, p=p)
+            memory = baseline_memory_circuit(3, em)
+            data = sample_detection_data(memory.circuit, shots=500, seed=1)
+            rates.append(data.detectors.mean())
+        assert rates[1] > 3 * rates[0]
+
+    def test_shot_validation(self):
+        c = Circuit()
+        c.measure(0)
+        with pytest.raises(ValueError):
+            FrameSimulator(c, shots=0)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(10, 100)
+        assert lo < 0.1 < hi
+
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0 and hi > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)

@@ -1,0 +1,111 @@
+"""Tests for the magic-state distillation analysis (§VII)."""
+
+import pytest
+
+from repro.magic import (
+    FAST_LATTICE,
+    PROTOCOLS,
+    SMALL_LATTICE,
+    VQUBITS,
+    FactoryProtocol,
+    fifteen_to_one_program,
+    generation_rate,
+    patches_for_one_state_per_step,
+    qubit_cost_table,
+    speedup_over,
+    vqubits_distillation_schedule,
+)
+from repro.magic.protocols import VQUBITS_SINGLE_TIMESTEPS
+
+
+class TestFig13aRates:
+    def test_rates_with_100_patches(self):
+        # Fig. 13a bar heights.
+        assert generation_rate(FAST_LATTICE, 100) == pytest.approx(100 / 180)
+        assert generation_rate(SMALL_LATTICE, 100) == pytest.approx(100 / 121)
+        assert generation_rate(VQUBITS, 100) == pytest.approx(100 / 99)
+
+    def test_ordering(self):
+        rates = [generation_rate(p, 100) for p in PROTOCOLS]
+        assert rates == sorted(rates), "Fast < Small < VQubits"
+
+    def test_paper_speedups(self):
+        # §VII: "1.82x as many T-states as Fast Lattice and 1.22x as many
+        # as Small Lattice".
+        assert speedup_over(VQUBITS, SMALL_LATTICE) == pytest.approx(1.22, abs=0.005)
+        assert speedup_over(VQUBITS, FAST_LATTICE) == pytest.approx(1.82, abs=0.005)
+
+
+class TestFig13bSpace:
+    def test_patches_for_one_per_step(self):
+        assert patches_for_one_state_per_step(FAST_LATTICE) == pytest.approx(180)
+        assert patches_for_one_state_per_step(SMALL_LATTICE) == pytest.approx(121)
+        assert patches_for_one_state_per_step(VQUBITS) == pytest.approx(99)
+
+    def test_vqubits_smallest(self):
+        spaces = [patches_for_one_state_per_step(p) for p in PROTOCOLS]
+        assert min(spaces) == patches_for_one_state_per_step(VQUBITS)
+
+
+class TestTableII:
+    def test_exact_paper_rows(self):
+        rows = {c.protocol: c for c in qubit_cost_table(distance=5, cavity_modes=10)}
+        assert rows["Fast Lattice"].transmons == 1499
+        assert rows["Fast Lattice"].total == 1499
+        assert rows["Small Lattice"].transmons == 549
+        assert rows["VQubits (natural)"].transmons == 49
+        assert rows["VQubits (natural)"].cavities == 25
+        assert rows["VQubits (natural)"].total == 299
+        assert rows["VQubits (compact)"].transmons == 29
+        assert rows["VQubits (compact)"].total == 279
+
+    def test_row_rendering(self):
+        row = qubit_cost_table()[0].row()
+        assert row[0] == "Fast Lattice" and row[2] == "-"
+
+
+class TestProtocolModel:
+    def test_paper_timestep_constants(self):
+        assert VQUBITS_SINGLE_TIMESTEPS == 110
+        assert VQUBITS.timesteps_per_batch == 99
+        assert FAST_LATTICE.timesteps_per_batch == 6
+        assert SMALL_LATTICE.patches_per_block == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FactoryProtocol("bad", 0, 1)
+        with pytest.raises(ValueError):
+            generation_rate(VQUBITS, 0)
+
+
+class TestDistillationCircuit:
+    def test_paper_gate_accounting(self):
+        # §VII counts a steady-state batch: "16 qubit initializations, 15
+        # measurements, 35 CNOT gates and a few other operations".  Our
+        # explicit single-shot circuit additionally (re-)initializes the
+        # four persistent code qubits and reads them out at the end, and
+        # spends one extra CNOT on the encode — hence 20/19/36.
+        program = fifteen_to_one_program()
+        allocs = sum(1 for op in program.ops if op.name == "ALLOC")
+        measures = sum(1 for op in program.ops if op.name.startswith("MEASURE"))
+        assert allocs == 20  # paper's 16 = 1 output + 15 resources
+        assert measures == 19  # paper's 15 = resource measurements only
+        assert program.cnot_count() == 36  # paper's 35 + 1 encode CNOT
+
+    def test_six_live_logical_qubits(self):
+        # The paper: one patch with 6 logical qubits in the cavities.  The
+        # 15 resources stream through; peak residency is bounded.
+        schedule = vqubits_distillation_schedule()
+        assert schedule.refresh_violations == 0
+
+    def test_single_stack_is_all_transversal(self):
+        schedule = vqubits_distillation_schedule(lock_step_pairs=False)
+        assert schedule.transversal_fraction == pytest.approx(1.0)
+        assert schedule.cnots == 36
+
+    def test_compiled_timesteps_same_order_as_paper(self):
+        # Our compiler's schedule vs the paper's 110: same order of
+        # magnitude (the exact 110 depends on the authors' unpublished
+        # micro-schedule; EXPERIMENTS.md records both).
+        schedule = vqubits_distillation_schedule()
+        assert 40 <= schedule.timesteps <= 200

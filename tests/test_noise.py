@@ -1,0 +1,120 @@
+"""Tests for the hardware parameters and error model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noise import (
+    BASELINE_HARDWARE,
+    MEMORY_HARDWARE,
+    REFERENCE_PHYSICAL_ERROR,
+    ErrorModel,
+    storage_error_probability,
+)
+
+
+class TestTableI:
+    def test_baseline_column(self):
+        hw = BASELINE_HARDWARE
+        assert hw.t1_transmon == pytest.approx(100e-6)
+        assert hw.t1_cavity is None
+        assert hw.t_gate_2q == pytest.approx(200e-9)
+        assert hw.t_gate_1q == pytest.approx(50e-9)
+        assert not hw.has_memory
+
+    def test_memory_column(self):
+        hw = MEMORY_HARDWARE
+        assert hw.t1_cavity == pytest.approx(1e-3)
+        assert hw.t_gate_tm == pytest.approx(200e-9)
+        assert hw.t_load_store == pytest.approx(150e-9)
+        assert hw.cavity_modes == 10
+        assert hw.has_memory
+
+    def test_table_rows_render(self):
+        rows = dict(MEMORY_HARDWARE.table_rows())
+        assert rows["T1,t"] == "100 us"
+        assert rows["T1,c"] == "1 ms"
+        assert rows["dl/s"] == "150 ns"
+        assert dict(BASELINE_HARDWARE.table_rows())["dl/s"] == "-"
+
+    def test_with_override(self):
+        hw = MEMORY_HARDWARE.with_(cavity_modes=30)
+        assert hw.cavity_modes == 30
+        assert MEMORY_HARDWARE.cavity_modes == 10
+
+
+class TestStorageError:
+    def test_zero_duration(self):
+        assert storage_error_probability(0.0, 1e-3) == 0.0
+
+    def test_formula(self):
+        assert storage_error_probability(1e-3, 1e-3) == pytest.approx(1 - math.exp(-1))
+
+    def test_monotone_in_duration(self):
+        a = storage_error_probability(1e-6, 1e-3)
+        b = storage_error_probability(2e-6, 1e-3)
+        assert b > a
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            storage_error_probability(-1.0, 1e-3)
+        with pytest.raises(ValueError):
+            storage_error_probability(1.0, 0.0)
+
+    @given(st.floats(min_value=1e-12, max_value=1.0), st.floats(min_value=1e-9, max_value=10.0))
+    def test_always_a_probability(self, duration, t1):
+        p = storage_error_probability(duration, t1)
+        assert 0.0 <= p <= 1.0
+
+
+class TestErrorModel:
+    def test_single_knob_drives_everything(self):
+        em = ErrorModel(hardware=MEMORY_HARDWARE, p=1e-3)
+        assert em.one_qubit_error == 1e-3
+        assert em.two_qubit_error == 1e-3
+        assert em.transmon_mode_error == 1e-3
+        assert em.load_store_error == 1e-3
+        assert em.measure_error == 1e-3
+        assert em.reset_error == 1e-3
+
+    def test_overrides(self):
+        em = ErrorModel(hardware=MEMORY_HARDWARE, p=1e-3, p_ls=5e-4)
+        assert em.load_store_error == 5e-4
+        assert em.two_qubit_error == 1e-3
+
+    def test_coherence_scaling(self):
+        # At the reference point T1 equals the table value; at 2x the error
+        # rate, T1 halves.
+        at_ref = ErrorModel(hardware=MEMORY_HARDWARE, p=REFERENCE_PHYSICAL_ERROR)
+        assert at_ref.t1_transmon == pytest.approx(100e-6)
+        worse = ErrorModel(hardware=MEMORY_HARDWARE, p=2 * REFERENCE_PHYSICAL_ERROR)
+        assert worse.t1_transmon == pytest.approx(50e-6)
+        assert worse.t1_cavity == pytest.approx(0.5e-3)
+
+    def test_coherence_pinning(self):
+        em = ErrorModel(
+            hardware=MEMORY_HARDWARE,
+            p=8e-3,
+            scale_coherence=False,
+            t1_cavity_override=2e-3,
+        )
+        assert em.t1_transmon == pytest.approx(100e-6)
+        assert em.t1_cavity == pytest.approx(2e-3)
+
+    def test_idle_errors_use_right_t1(self):
+        em = ErrorModel(hardware=MEMORY_HARDWARE, p=REFERENCE_PHYSICAL_ERROR)
+        t = em.transmon_idle_error(1e-6)
+        c = em.cavity_idle_error(1e-6)
+        assert c < t, "cavity storage must be ~10x more reliable"
+        assert t == pytest.approx(1 - math.exp(-1e-6 / 100e-6))
+
+    def test_cavity_idle_without_memory_raises(self):
+        em = ErrorModel(hardware=BASELINE_HARDWARE, p=1e-3)
+        with pytest.raises(ValueError):
+            em.cavity_idle_error(1e-6)
+
+    def test_with_copies(self):
+        em = ErrorModel(hardware=MEMORY_HARDWARE, p=1e-3)
+        em2 = em.with_(p=2e-3)
+        assert em.p == 1e-3 and em2.p == 2e-3

@@ -1,0 +1,193 @@
+"""Unit and property tests for the Pauli algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pauli import PauliString, identity, pauli_x, pauli_y, pauli_z
+
+
+def random_pauli(draw, n):
+    letters = draw(st.text(alphabet="IXYZ", min_size=n, max_size=n))
+    sign = draw(st.sampled_from([1, -1, 1j, -1j]))
+    return PauliString.from_string(letters, sign)
+
+
+paulis = st.integers(min_value=1, max_value=6).flatmap(
+    lambda n: st.builds(
+        PauliString.from_string,
+        st.text(alphabet="IXYZ", min_size=n, max_size=n),
+        st.sampled_from([1, -1, 1j, -1j]),
+    )
+)
+
+
+def pauli_pairs(n_max=6):
+    return st.integers(min_value=1, max_value=n_max).flatmap(
+        lambda n: st.tuples(
+            st.builds(
+                PauliString.from_string,
+                st.text(alphabet="IXYZ", min_size=n, max_size=n),
+                st.sampled_from([1, -1, 1j, -1j]),
+            ),
+            st.builds(
+                PauliString.from_string,
+                st.text(alphabet="IXYZ", min_size=n, max_size=n),
+                st.sampled_from([1, -1, 1j, -1j]),
+            ),
+        )
+    )
+
+
+def pauli_triples(n_max=5):
+    one = lambda n: st.builds(
+        PauliString.from_string,
+        st.text(alphabet="IXYZ", min_size=n, max_size=n),
+        st.sampled_from([1, -1, 1j, -1j]),
+    )
+    return st.integers(min_value=1, max_value=n_max).flatmap(
+        lambda n: st.tuples(one(n), one(n), one(n))
+    )
+
+
+class TestConstruction:
+    def test_from_string_roundtrip(self):
+        p = PauliString.from_string("XIZY")
+        assert p.letters() == "XIZY"
+        assert str(p) == "+XIZY"
+
+    def test_sign_prefixes(self):
+        assert str(PauliString.from_string("X", -1)) == "-X"
+        assert str(PauliString.from_string("Y", 1j)) == "+iY"
+
+    def test_identity(self):
+        p = identity(3)
+        assert p.is_identity()
+        assert p.weight == 0
+
+    def test_single_qubit_builders(self):
+        assert pauli_x(3, 1).letters() == "IXI"
+        assert pauli_y(3, 0).letters() == "YII"
+        assert pauli_z(3, 2).letters() == "IIZ"
+
+    def test_from_qubit_letters(self):
+        p = PauliString.from_qubit_letters(4, [(0, "X"), (3, "Z")])
+        assert p.letters() == "XIIZ"
+
+    def test_invalid_letter_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString.from_string("XQ")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString([True], [True, False])
+
+
+class TestAlgebra:
+    def test_xz_is_minus_i_y(self):
+        x = PauliString.from_string("X")
+        z = PauliString.from_string("Z")
+        xz = x * z
+        # XZ = -iY, so in letter form the Y should carry a -i prefix.
+        assert xz.letters() == "Y"
+        assert str(xz) == "-iY"
+
+    def test_zx_is_plus_i_y(self):
+        z = PauliString.from_string("Z")
+        x = PauliString.from_string("X")
+        assert str(z * x) == "+iY"
+
+    def test_xx_is_identity(self):
+        x = PauliString.from_string("XX")
+        assert (x * x).is_identity()
+        assert (x * x).phase == 0
+
+    def test_y_squared_is_identity(self):
+        y = PauliString.from_string("Y")
+        assert str(y * y) == "+I"
+
+    def test_anticommuting_pair(self):
+        assert not pauli_x(1, 0).commutes_with(pauli_z(1, 0))
+        assert not pauli_x(1, 0).commutes_with(pauli_y(1, 0))
+
+    def test_commuting_products(self):
+        xx = PauliString.from_string("XX")
+        zz = PauliString.from_string("ZZ")
+        assert xx.commutes_with(zz)
+
+    def test_tensor(self):
+        p = PauliString.from_string("X").tensor(PauliString.from_string("Z"))
+        assert p.letters() == "XZ"
+
+    def test_neg(self):
+        assert str(-PauliString.from_string("X")) == "-X"
+
+    @given(pauli_pairs())
+    def test_multiplication_matches_matrices(self, pair):
+        a, b = pair
+        if a.num_qubits > 4:
+            return
+        np.testing.assert_allclose(
+            (a * b).to_matrix(), a.to_matrix() @ b.to_matrix(), atol=1e-12
+        )
+
+    @given(pauli_triples())
+    def test_associativity(self, triple):
+        a, b, c = triple
+        assert (a * b) * c == a * (b * c)
+
+    @given(paulis)
+    def test_identity_is_neutral(self, p):
+        e = identity(p.num_qubits)
+        assert e * p == p
+        assert p * e == p
+
+    @given(pauli_pairs())
+    def test_commutation_matches_matrices(self, pair):
+        a, b = pair
+        if a.num_qubits > 4:
+            return
+        ab = a.to_matrix() @ b.to_matrix()
+        ba = b.to_matrix() @ a.to_matrix()
+        if a.commutes_with(b):
+            np.testing.assert_allclose(ab, ba, atol=1e-12)
+        else:
+            np.testing.assert_allclose(ab, -ba, atol=1e-12)
+
+    @given(paulis)
+    def test_square_is_plus_or_minus_identity(self, p):
+        square = p * p
+        assert square.weight == 0
+        assert square.phase in (0, 2)
+
+    @given(paulis)
+    def test_hermitian_iff_real_residual_phase(self, p):
+        m = p.to_matrix()
+        if p.is_hermitian():
+            np.testing.assert_allclose(m, m.conj().T, atol=1e-12)
+        else:
+            assert not np.allclose(m, m.conj().T, atol=1e-12)
+
+
+class TestIntrospection:
+    def test_weight(self):
+        assert PauliString.from_string("XIYZ").weight == 3
+
+    def test_support(self):
+        assert PauliString.from_string("IXIZ").support() == [1, 3]
+
+    def test_letter_access(self):
+        p = PauliString.from_string("XYZI")
+        assert [p.letter(i) for i in range(4)] == ["X", "Y", "Z", "I"]
+
+    def test_matrix_of_y(self):
+        np.testing.assert_allclose(
+            PauliString.from_string("Y").to_matrix(),
+            np.array([[0, -1j], [1j, 0]]),
+        )
+
+    def test_hash_and_eq(self):
+        a = PauliString.from_string("XZ")
+        b = PauliString.from_string("XZ")
+        assert a == b and hash(a) == hash(b)
+        assert a != PauliString.from_string("XZ", -1)

@@ -1,0 +1,37 @@
+"""Tests for the ASCII report utilities."""
+
+import pytest
+
+from repro.report import ascii_table, format_series
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        table = ascii_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        table = ascii_table(["x"], [[1]], title="Table I")
+        assert table.splitlines()[0] == "Table I"
+
+    def test_float_formatting(self):
+        table = ascii_table(["v"], [[0.00012345], [1.5], [0.0]])
+        assert "1.234e-04" in table
+        assert "1.5" in table
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        text = format_series([1.0, 2.0], {"d=3": [0.1, 0.2], "d=5": [0.3, 0.4]}, "p")
+        assert "d=3" in text and "d=5" in text
+        assert text.splitlines()[0].startswith("p")
+
+    def test_title(self):
+        text = format_series([1.0], {"y": [2.0]}, "x", title="panel")
+        assert text.splitlines()[0] == "panel"

@@ -1,0 +1,138 @@
+"""Tests for the dense statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.pauli import PauliString
+from repro.statevector import StateVectorSimulator
+
+
+class TestGates:
+    def test_initial_state(self):
+        sim = StateVectorSimulator(2)
+        v = sim.state_vector()
+        np.testing.assert_allclose(v, [1, 0, 0, 0])
+
+    def test_x(self):
+        sim = StateVectorSimulator(1)
+        sim.apply_1q("X", 0)
+        np.testing.assert_allclose(sim.state_vector(), [0, 1])
+
+    def test_h(self):
+        sim = StateVectorSimulator(1)
+        sim.apply_1q("H", 0)
+        np.testing.assert_allclose(sim.state_vector(), [2**-0.5, 2**-0.5])
+
+    def test_bell(self):
+        sim = StateVectorSimulator(2)
+        sim.apply_1q("H", 0)
+        sim.apply_2q("CX", 0, 1)
+        v = sim.state_vector()
+        np.testing.assert_allclose(v, [2**-0.5, 0, 0, 2**-0.5], atol=1e-12)
+
+    def test_qubit_ordering(self):
+        # X on qubit 1 of two qubits -> |10> (binary), index 2.
+        sim = StateVectorSimulator(2)
+        sim.apply_1q("X", 1)
+        v = sim.state_vector()
+        assert abs(v[2]) == pytest.approx(1.0)
+
+    def test_cx_direction(self):
+        sim = StateVectorSimulator(2)
+        sim.apply_1q("X", 0)  # control set
+        sim.apply_2q("CX", 0, 1)
+        v = sim.state_vector()
+        assert abs(v[3]) == pytest.approx(1.0)
+
+    def test_t_gate_phase(self):
+        sim = StateVectorSimulator(1)
+        sim.apply_1q("X", 0)
+        sim.apply_1q("T", 0)
+        v = sim.state_vector()
+        assert v[1] == pytest.approx(np.exp(1j * np.pi / 4))
+
+    def test_swap(self):
+        sim = StateVectorSimulator(2)
+        sim.apply_1q("X", 0)
+        sim.apply_2q("SWAP", 0, 1)
+        v = sim.state_vector()
+        assert abs(v[2]) == pytest.approx(1.0)
+
+
+class TestMeasurement:
+    def test_deterministic(self):
+        sim = StateVectorSimulator(1, seed=0)
+        assert sim.measure(0) == 0
+        sim.apply_1q("X", 0)
+        assert sim.measure(0) == 1
+
+    def test_collapse(self):
+        sim = StateVectorSimulator(1, seed=42)
+        sim.apply_1q("H", 0)
+        first = sim.measure(0)
+        assert sim.measure(0) == first
+
+    def test_forced_impossible_outcome_raises(self):
+        sim = StateVectorSimulator(1, seed=0)
+        with pytest.raises(ValueError):
+            sim.measure(0, forced_outcome=1)
+
+    def test_probability_of_one(self):
+        sim = StateVectorSimulator(1)
+        sim.apply_1q("H", 0)
+        assert sim.probability_of_one(0) == pytest.approx(0.5)
+
+    def test_reset(self):
+        sim = StateVectorSimulator(1, seed=0)
+        sim.apply_1q("X", 0)
+        sim.reset(0)
+        assert sim.measure(0) == 0
+
+
+class TestPauliExpectation:
+    def test_z_expectation(self):
+        sim = StateVectorSimulator(1)
+        assert sim.expectation_pauli(PauliString.from_string("Z")) == pytest.approx(1)
+        sim.apply_1q("X", 0)
+        assert sim.expectation_pauli(PauliString.from_string("Z")) == pytest.approx(-1)
+
+    def test_bell_correlations(self):
+        sim = StateVectorSimulator(2)
+        sim.apply_1q("H", 0)
+        sim.apply_2q("CX", 0, 1)
+        for letters in ("XX", "ZZ"):
+            assert sim.expectation_pauli(
+                PauliString.from_string(letters)
+            ) == pytest.approx(1)
+        assert sim.expectation_pauli(
+            PauliString.from_string("YY")
+        ) == pytest.approx(-1)
+
+    def test_apply_pauli_phase(self):
+        sim = StateVectorSimulator(1)
+        sim.apply_pauli(PauliString.from_string("Z", -1))
+        v = sim.state_vector()
+        assert v[0] == pytest.approx(-1)
+
+
+class TestRun:
+    def test_run_circuit(self):
+        c = Circuit()
+        c.h(0)
+        c.cx(0, 1)
+        c.measure(0, 1)
+        sim = StateVectorSimulator(2, seed=3)
+        record = sim.run(c)
+        assert record[0] == record[1]
+
+    def test_noise_rejected(self):
+        c = Circuit()
+        c.depolarize1([0], 0.5)
+        sim = StateVectorSimulator(1)
+        with pytest.raises(NotImplementedError):
+            sim.run(c)
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            StateVectorSimulator(20)

@@ -1,0 +1,124 @@
+"""Tests for the rotated surface code layout."""
+
+import pytest
+
+from repro.pauli import PauliString
+from repro.surface_code import RotatedSurfaceCode
+
+
+@pytest.fixture(params=[2, 3, 5, 7])
+def code(request):
+    return RotatedSurfaceCode(request.param)
+
+
+class TestCounts:
+    def test_data_count(self, code):
+        assert code.num_data == code.distance**2
+        assert len(code.data_coords) == code.num_data
+
+    def test_ancilla_count(self, code):
+        assert code.num_ancilla == code.distance**2 - 1
+
+    def test_balanced_bases(self, code):
+        x = code.plaquettes_of_basis("X")
+        z = code.plaquettes_of_basis("Z")
+        if code.distance % 2 == 1:
+            assert len(x) == len(z) == (code.distance**2 - 1) // 2
+        else:
+            # Even distances are lopsided by one plaquette.
+            assert len(x) + len(z) == code.distance**2 - 1
+            assert abs(len(x) - len(z)) == 1
+
+    def test_boundary_counts(self, code):
+        d = code.distance
+        halves = [p for p in code.plaquettes if p.is_boundary]
+        assert len(halves) == 2 * (d - 1)
+
+    def test_d3_matches_paper_figure(self):
+        # Fig. 2: four logical qubits each with 9 data and 8 ancilla.
+        code = RotatedSurfaceCode(3)
+        assert code.num_data == 9
+        assert code.num_ancilla == 8
+
+
+class TestStructure:
+    def test_interior_data_touches_two_of_each(self, code):
+        d = code.distance
+        touching = {coord: {"X": 0, "Z": 0} for coord in code.data_coords}
+        for p in code.plaquettes:
+            for coord in p.data:
+                touching[coord][p.basis] += 1
+        for (r, c), counts in touching.items():
+            if 0 < r < d - 1 and 0 < c < d - 1:
+                assert counts == {"X": 2, "Z": 2}, (r, c)
+
+    def test_every_data_in_some_plaquette(self, code):
+        covered = {coord for p in code.plaquettes for coord in p.data}
+        assert covered == set(code.data_coords)
+
+    def test_x_half_plaquettes_on_top_bottom(self, code):
+        d = code.distance
+        for p in code.plaquettes_of_basis("X"):
+            if p.is_boundary:
+                assert p.cell[0] in (-1, d - 1)
+
+    def test_z_half_plaquettes_on_left_right(self, code):
+        d = code.distance
+        for p in code.plaquettes_of_basis("Z"):
+            if p.is_boundary:
+                assert p.cell[1] in (-1, d - 1)
+
+    def test_corner_lookup(self):
+        code = RotatedSurfaceCode(3)
+        p = next(p for p in code.plaquettes if p.cell == (0, 0))
+        assert p.corner("NW") == (0, 0)
+        assert p.corner("SE") == (1, 1)
+
+
+class TestLogicalOperators:
+    def test_stabilizers_mutually_commute(self, code):
+        paulis = [code.stabilizer_pauli(p) for p in code.plaquettes]
+        for i, a in enumerate(paulis):
+            for b in paulis[i + 1 :]:
+                assert a.commutes_with(b)
+
+    def test_logicals_commute_with_stabilizers(self, code):
+        lx, lz = code.logical_x(), code.logical_z()
+        for p in code.plaquettes:
+            s = code.stabilizer_pauli(p)
+            assert lx.commutes_with(s), f"X_L anticommutes with {p}"
+            assert lz.commutes_with(s), f"Z_L anticommutes with {p}"
+
+    def test_logicals_anticommute_with_each_other(self, code):
+        assert not code.logical_x().commutes_with(code.logical_z())
+
+    def test_logical_weight_is_distance(self, code):
+        assert code.logical_x().weight == code.distance
+        assert code.logical_z().weight == code.distance
+
+    def test_logical_not_in_stabilizer_group(self):
+        # Brute force for d=3: no product of stabilizers equals Z_L.
+        code = RotatedSurfaceCode(3)
+        stabs = [code.stabilizer_pauli(p) for p in code.plaquettes]
+        lz = code.logical_z()
+        n = len(stabs)
+        for mask in range(1, 2**n):
+            prod = PauliString.identity(code.num_data)
+            for i in range(n):
+                if mask >> i & 1:
+                    prod = prod * stabs[i]
+            assert (prod.xs != lz.xs).any() or (prod.zs != lz.zs).any()
+
+
+class TestMisc:
+    def test_rejects_tiny_distance(self):
+        with pytest.raises(ValueError):
+            RotatedSurfaceCode(1)
+
+    def test_ascii_diagram_has_content(self):
+        art = RotatedSurfaceCode(3).ascii_diagram()
+        assert "." in art and ("X" in art or "x" in art)
+
+    def test_data_index_roundtrip(self, code):
+        for i, coord in enumerate(code.data_coords):
+            assert code.data_index(coord) == i

@@ -1,0 +1,193 @@
+"""Tests for lattice surgery, transversal CNOT and process tomography."""
+
+import numpy as np
+import pytest
+
+from repro.pauli import PauliString
+from repro.surgery import (
+    CNOT_TIMESTEPS_LATTICE_SURGERY,
+    CNOT_TIMESTEPS_TRANSVERSAL,
+    SurgeryLab,
+    lattice_surgery_cnot,
+    tomography_of_lattice_surgery_cnot,
+    tomography_of_transversal_cnot,
+    transversal_cnot,
+)
+from repro.surgery.algebra import gf2_solve
+from repro.surgery.physical import VerticalPair
+
+
+def make_lab(distance, n_patches, seed=0, extra=0):
+    lab = SurgeryLab(distance * distance * n_patches + extra, seed=seed)
+    patches = [lab.allocate_patch(f"p{i}", distance) for i in range(n_patches)]
+    for p in patches:
+        lab.encode_zero(p)
+    return lab, patches
+
+
+class TestPatchEncoding:
+    def test_encode_zero_stabilizes(self):
+        lab, (p,) = make_lab(3, 1)
+        assert lab.check_codespace(p)
+        assert lab.logical_expectation(p, "Z") == 1
+
+    def test_logical_x_flips_z(self):
+        lab, (p,) = make_lab(3, 1)
+        lab.apply_logical(p, "X")
+        assert lab.logical_expectation(p, "Z") == -1
+        assert lab.check_codespace(p)
+
+    def test_logical_measurement(self):
+        lab, (p,) = make_lab(3, 1, seed=2)
+        assert lab.measure_logical(p, "Z") == 0
+        lab.apply_logical(p, "X")
+        assert lab.measure_logical(p, "Z") == 1
+
+    def test_register_exhaustion(self):
+        lab = SurgeryLab(5)
+        with pytest.raises(ValueError):
+            lab.allocate_patch("big", 3)
+
+
+class TestTransversalCNOT:
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_truth_table(self, d):
+        for a in (0, 1):
+            for b in (0, 1):
+                lab, (c, t) = make_lab(d, 2, seed=a * 2 + b)
+                if a:
+                    lab.apply_logical(c, "X")
+                if b:
+                    lab.apply_logical(t, "X")
+                transversal_cnot(lab, c, t)
+                assert lab.measure_logical(c, "Z") == a
+                assert lab.measure_logical(t, "Z") == a ^ b
+                assert lab.check_codespace(c) and lab.check_codespace(t)
+
+    def test_phase_kickback(self):
+        # CNOT with target |->: control picks up the phase.
+        lab, (c, t) = make_lab(3, 2, seed=1)
+        lab.sim.measure_pauli(c.logical_x(), forced_outcome=0)  # control |+>
+        lab.sim.measure_pauli(t.logical_x(), forced_outcome=1)  # target |->
+        transversal_cnot(lab, c, t)
+        assert lab.logical_expectation(c, "X") == -1
+
+    def test_tomography_confirms_cnot(self):
+        process_map, is_cnot = tomography_of_transversal_cnot(distance=3, seed=0)
+        assert is_cnot
+        assert process_map["X0"] == (1, "XX")
+        assert process_map["Z1"] == (1, "ZZ")
+
+    def test_distance_mismatch_rejected(self):
+        lab = SurgeryLab(9 + 4, seed=0)
+        a = lab.allocate_patch("a", 3)
+        b = lab.allocate_patch("b", 2)
+        with pytest.raises(ValueError):
+            transversal_cnot(lab, a, b)
+
+    def test_costs_paper_ratio(self):
+        # §III-B: "6x better than a lattice surgery CNOT".
+        assert CNOT_TIMESTEPS_LATTICE_SURGERY // CNOT_TIMESTEPS_TRANSVERSAL == 6
+
+
+class TestLatticeSurgeryCNOT:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_truth_table_all_outcome_branches(self, seed):
+        for a in (0, 1):
+            for b in (0, 1):
+                lab, (c, t, anc) = make_lab(3, 3, seed=seed + 10 * (2 * a + b))
+                if a:
+                    lab.apply_logical(c, "X")
+                if b:
+                    lab.apply_logical(t, "X")
+                record = lattice_surgery_cnot(lab, c, t, anc)
+                assert record["timesteps"] == 6
+                assert lab.measure_logical(c, "Z") == a
+                assert lab.measure_logical(t, "Z") == a ^ b
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tomography_confirms_cnot(self, seed):
+        _, is_cnot = tomography_of_lattice_surgery_cnot(distance=3, seed=seed)
+        assert is_cnot
+
+    def test_entangles_plus_control(self):
+        lab, (c, t, anc) = make_lab(3, 3, seed=3)
+        lab.sim.measure_pauli(c.logical_x(), forced_outcome=0)  # |+>
+        lattice_surgery_cnot(lab, c, t, anc)
+        # Bell state: X⊗X and Z⊗Z both +1.
+        joint_x = c.logical_x() * t.logical_x()
+        joint_z = c.logical_z() * t.logical_z()
+        assert lab.sim.peek_pauli_expectation(joint_x) == 1
+        assert lab.sim.peek_pauli_expectation(joint_z) == 1
+
+
+class TestGF2:
+    def test_simple_solve(self):
+        gens = [np.array([1, 1, 0]), np.array([0, 1, 1])]
+        x = gf2_solve(gens, np.array([1, 0, 1]))
+        assert x is not None and list(x) == [1, 1]
+
+    def test_unsolvable(self):
+        gens = [np.array([1, 1, 0])]
+        assert gf2_solve(gens, np.array([0, 0, 1])) is None
+
+    def test_empty_generators(self):
+        assert gf2_solve([], np.array([1])) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gf2_solve([np.array([1, 0])], np.array([1, 0, 0]))
+
+
+class TestPhysicalMergeSplit:
+    @pytest.mark.parametrize("d", [2, 3])
+    @pytest.mark.parametrize("states", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_merge_outcome_is_joint_parity(self, d, states):
+        a, b = states
+        lab = SurgeryLab(2 * d * d + d, seed=7 * a + b)
+        pair = VerticalPair.allocate(lab, d)
+        lab.encode_zero(pair.top)
+        lab.encode_zero(pair.bottom)
+        if a:
+            lab.apply_logical(pair.top, "X")
+        if b:
+            lab.apply_logical(pair.bottom, "X")
+        assert pair.merge() == a ^ b
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_merge_split_is_mzz_instrument(self, seed):
+        # On |++> the instrument must output a random m and leave the Bell
+        # pair stabilized by X⊗X = +1 and Z⊗Z = (−1)^m.
+        d = 3
+        lab = SurgeryLab(2 * d * d + d, seed=seed)
+        pair = VerticalPair.allocate(lab, d)
+        lab.encode_zero(pair.top)
+        lab.encode_zero(pair.bottom)
+        lab.sim.measure_pauli(pair.top.logical_x(), forced_outcome=0)
+        lab.sim.measure_pauli(pair.bottom.logical_x(), forced_outcome=0)
+        m = pair.merge()
+        pair.split()
+        joint_x = pair.top.logical_x() * pair.bottom.logical_x()
+        joint_z = pair.top.logical_z() * pair.bottom.logical_z()
+        assert lab.sim.peek_pauli_expectation(joint_x) == 1
+        assert lab.sim.peek_pauli_expectation(joint_z) == (1 - 2 * m)
+        assert lab.check_codespace(pair.top)
+        assert lab.check_codespace(pair.bottom)
+
+    def test_split_restores_codespaces(self):
+        d = 3
+        lab = SurgeryLab(2 * d * d + d, seed=11)
+        pair = VerticalPair.allocate(lab, d)
+        lab.encode_zero(pair.top)
+        lab.encode_zero(pair.bottom)
+        pair.merge()
+        pair.split()
+        assert lab.check_codespace(pair.top)
+        assert lab.check_codespace(pair.bottom)
+
+    def test_distance_mismatch_rejected(self):
+        lab = SurgeryLab(9 + 4 + 3, seed=0)
+        top = lab.allocate_patch("t", 3)
+        bottom = lab.allocate_patch("b", 2)
+        with pytest.raises(ValueError):
+            VerticalPair(lab, top, bottom, [lab.allocate_bare() for _ in range(3)])

@@ -1,0 +1,223 @@
+"""Tests for the Aaronson–Gottesman tableau simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.pauli import PauliString
+from repro.stabilizer import TableauSimulator
+
+
+class TestBasics:
+    def test_initial_state_measures_zero(self):
+        sim = TableauSimulator(3, seed=0)
+        assert [sim.measure(q) for q in range(3)] == [0, 0, 0]
+
+    def test_x_flips_measurement(self):
+        sim = TableauSimulator(1, seed=0)
+        sim.gate_x(0)
+        assert sim.measure(0) == 1
+
+    def test_h_then_h_is_identity(self):
+        sim = TableauSimulator(1, seed=0)
+        sim.h(0)
+        sim.h(0)
+        assert sim.measure(0) == 0
+
+    def test_random_measurement_collapses(self):
+        sim = TableauSimulator(1, seed=1)
+        sim.h(0)
+        first = sim.measure(0)
+        assert sim.measure(0) == first
+
+    def test_bell_pair_correlation(self):
+        for seed in range(10):
+            sim = TableauSimulator(2, seed=seed)
+            sim.h(0)
+            sim.cx(0, 1)
+            assert sim.measure(0) == sim.measure(1)
+
+    def test_ghz_correlation(self):
+        for seed in range(5):
+            sim = TableauSimulator(3, seed=seed)
+            sim.h(0)
+            sim.cx(0, 1)
+            sim.cx(1, 2)
+            outcomes = [sim.measure(q) for q in range(3)]
+            assert len(set(outcomes)) == 1
+
+    def test_s_gate_phases(self):
+        # S X S† = Y.
+        sim = TableauSimulator(1, seed=0)
+        sim.h(0)  # |+>, stabilized by X
+        sim.s(0)  # now stabilized by Y
+        assert sim.peek_pauli_expectation(PauliString.from_string("Y")) == 1
+
+    def test_s_dag_inverts_s(self):
+        sim = TableauSimulator(1, seed=0)
+        sim.h(0)
+        sim.s(0)
+        sim.s_dag(0)
+        assert sim.peek_pauli_expectation(PauliString.from_string("X")) == 1
+
+    def test_cz_makes_bell_in_x_basis(self):
+        sim = TableauSimulator(2, seed=0)
+        sim.h(0)
+        sim.h(1)
+        sim.cz(0, 1)
+        # State stabilized by X⊗Z and Z⊗X.
+        assert sim.peek_pauli_expectation(PauliString.from_string("XZ")) == 1
+        assert sim.peek_pauli_expectation(PauliString.from_string("ZX")) == 1
+
+    def test_swap(self):
+        sim = TableauSimulator(2, seed=0)
+        sim.gate_x(0)
+        sim.swap(0, 1)
+        assert sim.measure(0) == 0
+        assert sim.measure(1) == 1
+
+    def test_reset(self):
+        sim = TableauSimulator(1, seed=0)
+        sim.gate_x(0)
+        sim.reset(0)
+        assert sim.measure(0) == 0
+
+    def test_reset_of_superposition(self):
+        for seed in range(5):
+            sim = TableauSimulator(1, seed=seed)
+            sim.h(0)
+            sim.reset(0)
+            assert sim.measure(0) == 0
+
+
+class TestMeasurePauli:
+    def test_measure_zz_on_bell(self):
+        sim = TableauSimulator(2, seed=0)
+        sim.h(0)
+        sim.cx(0, 1)
+        assert sim.measure_pauli(PauliString.from_string("ZZ")) == 0
+        assert sim.measure_pauli(PauliString.from_string("XX")) == 0
+
+    def test_measure_negative_pauli(self):
+        sim = TableauSimulator(1, seed=0)
+        sim.gate_x(0)  # |1>, stabilized by -Z
+        assert sim.measure_pauli(PauliString.from_string("Z", -1)) == 0
+        assert sim.measure_pauli(PauliString.from_string("Z")) == 1
+
+    def test_measure_non_hermitian_rejected(self):
+        sim = TableauSimulator(1, seed=0)
+        with pytest.raises(ValueError):
+            sim.measure_pauli(PauliString.from_string("Z", 1j))
+
+    def test_forced_outcome(self):
+        sim = TableauSimulator(1, seed=0)
+        assert sim.measure_pauli(PauliString.from_string("X"), forced_outcome=1) == 1
+        assert sim.peek_pauli_expectation(PauliString.from_string("X")) == -1
+
+    def test_joint_measurement_projects(self):
+        # Measuring X⊗X on |00> then Z⊗Z must still give +1 (Bell state).
+        for forced in (0, 1):
+            sim = TableauSimulator(2, seed=0)
+            m = sim.measure_pauli(PauliString.from_string("XX"), forced_outcome=forced)
+            assert m == forced
+            assert sim.measure_pauli(PauliString.from_string("ZZ")) == 0
+
+    def test_repeated_pauli_measurement_is_stable(self):
+        sim = TableauSimulator(3, seed=3)
+        p = PauliString.from_string("XXI")
+        first = sim.measure_pauli(p)
+        for _ in range(3):
+            assert sim.measure_pauli(p) == first
+
+    def test_measure_y(self):
+        sim = TableauSimulator(1, seed=0)
+        sim.h(0)
+        sim.s(0)  # +1 eigenstate of Y
+        assert sim.measure_pauli(PauliString.from_string("Y")) == 0
+
+    def test_identity_measurement(self):
+        sim = TableauSimulator(1, seed=0)
+        assert sim.measure_pauli(PauliString.identity(1)) == 0
+
+
+class TestPeek:
+    def test_peek_deterministic(self):
+        sim = TableauSimulator(1, seed=0)
+        assert sim.peek_pauli_expectation(PauliString.from_string("Z")) == 1
+        sim.gate_x(0)
+        assert sim.peek_pauli_expectation(PauliString.from_string("Z")) == -1
+
+    def test_peek_random_returns_zero(self):
+        sim = TableauSimulator(1, seed=0)
+        assert sim.peek_pauli_expectation(PauliString.from_string("X")) == 0
+
+    def test_peek_does_not_collapse(self):
+        sim = TableauSimulator(1, seed=0)
+        sim.h(0)
+        assert sim.peek_pauli_expectation(PauliString.from_string("Z")) == 0
+        assert sim.peek_pauli_expectation(PauliString.from_string("X")) == 1
+
+
+class TestStabilizers:
+    def test_initial_stabilizers(self):
+        sim = TableauSimulator(2, seed=0)
+        letters = sorted(s.letters() for s in sim.stabilizers())
+        assert letters == ["IZ", "ZI"]
+
+    def test_bell_canonical_form(self):
+        sim = TableauSimulator(2, seed=0)
+        sim.h(0)
+        sim.cx(0, 1)
+        canonical = {str(s) for s in sim.canonical_stabilizers()}
+        assert canonical == {"+XX", "+ZZ"}
+
+    def test_canonical_form_is_state_fingerprint(self):
+        # Two different circuits preparing the same state agree.
+        a = TableauSimulator(2, seed=0)
+        a.h(0)
+        a.cx(0, 1)
+        b = TableauSimulator(2, seed=0)
+        b.h(1)
+        b.cx(1, 0)
+        assert [str(s) for s in a.canonical_stabilizers()] == [
+            str(s) for s in b.canonical_stabilizers()
+        ]
+
+    def test_apply_pauli_flips_signs(self):
+        sim = TableauSimulator(1, seed=0)
+        sim.apply_pauli(PauliString.from_string("X"))
+        assert sim.peek_pauli_expectation(PauliString.from_string("Z")) == -1
+
+
+class TestRunCircuit:
+    def test_run_records_measurements(self):
+        c = Circuit()
+        c.h(0)
+        c.cx(0, 1)
+        c.measure(0, 1)
+        for seed in range(5):
+            sim = TableauSimulator(2, seed=seed)
+            record = sim.run(c)
+            assert record[0] == record[1]
+
+    def test_run_with_forced_noise(self):
+        c = Circuit()
+        c.x_error([0], 1.0)
+        c.measure(0)
+        sim = TableauSimulator(1, seed=0)
+        assert sim.run(c) == [1]
+
+    def test_run_measurement_flip(self):
+        c = Circuit()
+        c.measure(0, flip_probability=1.0)
+        sim = TableauSimulator(1, seed=0)
+        assert sim.run(c) == [1]
+        # State itself was unaffected.
+        assert sim.measure(0) == 0
+
+    def test_copy_independent(self):
+        sim = TableauSimulator(1, seed=0)
+        clone = sim.copy()
+        clone.gate_x(0)
+        assert sim.measure(0) == 0
+        assert clone.measure(0) == 1

@@ -1,0 +1,114 @@
+"""Cross-validation: the tableau simulator against dense statevectors.
+
+Random Clifford circuits are applied in both simulators; every canonical
+stabilizer reported by the tableau must have expectation +1 in the dense
+state, and sampled measurement outcomes must agree when forced.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pauli import PauliString
+from repro.stabilizer import TableauSimulator
+from repro.statevector import StateVectorSimulator
+
+N_QUBITS = 4
+
+
+def apply_random_clifford(ops, tableau, vector):
+    for op in ops:
+        kind = op[0]
+        if kind == "h":
+            tableau.h(op[1])
+            vector.apply_1q("H", op[1])
+        elif kind == "s":
+            tableau.s(op[1])
+            vector.apply_1q("S", op[1])
+        elif kind == "x":
+            tableau.gate_x(op[1])
+            vector.apply_1q("X", op[1])
+        elif kind == "cx":
+            a, b = op[1], op[2]
+            tableau.cx(a, b)
+            vector.apply_2q("CX", a, b)
+        elif kind == "cz":
+            a, b = op[1], op[2]
+            tableau.cz(a, b)
+            vector.apply_2q("CZ", a, b)
+
+
+clifford_ops = st.lists(
+    st.one_of(
+        st.tuples(st.sampled_from(["h", "s", "x"]), st.integers(0, N_QUBITS - 1)),
+        st.tuples(
+            st.sampled_from(["cx", "cz"]),
+            st.integers(0, N_QUBITS - 1),
+            st.integers(0, N_QUBITS - 1),
+        ).filter(lambda t: t[1] != t[2]),
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(clifford_ops)
+def test_stabilizers_hold_in_dense_state(ops):
+    tableau = TableauSimulator(N_QUBITS, seed=0)
+    vector = StateVectorSimulator(N_QUBITS, seed=0)
+    apply_random_clifford(ops, tableau, vector)
+    for stabilizer in tableau.canonical_stabilizers():
+        expectation = vector.expectation_pauli(stabilizer)
+        assert expectation.real == pytest.approx(1.0, abs=1e-9), (
+            f"{stabilizer} not stabilizing dense state"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(clifford_ops, st.integers(0, N_QUBITS - 1))
+def test_deterministic_measurements_agree(ops, qubit):
+    tableau = TableauSimulator(N_QUBITS, seed=0)
+    vector = StateVectorSimulator(N_QUBITS, seed=0)
+    apply_random_clifford(ops, tableau, vector)
+    z = PauliString.single(N_QUBITS, qubit, "Z")
+    peek = tableau.peek_pauli_expectation(z)
+    p1 = vector.probability_of_one(qubit)
+    if peek == 1:
+        assert p1 == pytest.approx(0.0, abs=1e-9)
+    elif peek == -1:
+        assert p1 == pytest.approx(1.0, abs=1e-9)
+    else:
+        assert p1 == pytest.approx(0.5, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(clifford_ops)
+def test_pauli_expectations_agree(ops):
+    rng = np.random.default_rng(7)
+    tableau = TableauSimulator(N_QUBITS, seed=0)
+    vector = StateVectorSimulator(N_QUBITS, seed=0)
+    apply_random_clifford(ops, tableau, vector)
+    for _ in range(8):
+        letters = "".join(rng.choice(list("IXYZ")) for _ in range(N_QUBITS))
+        pauli = PauliString.from_string(letters)
+        peek = tableau.peek_pauli_expectation(pauli)
+        dense = vector.expectation_pauli(pauli).real
+        assert dense == pytest.approx(float(peek), abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(clifford_ops)
+def test_forced_collapse_agrees(ops):
+    tableau = TableauSimulator(N_QUBITS, seed=0)
+    vector = StateVectorSimulator(N_QUBITS, seed=0)
+    apply_random_clifford(ops, tableau, vector)
+    for q in range(N_QUBITS):
+        z = PauliString.single(N_QUBITS, q, "Z")
+        peek = tableau.peek_pauli_expectation(z)
+        forced = 0 if peek in (0, 1) else 1
+        assert tableau.measure_pauli(z, forced_outcome=forced) == forced
+        vector.measure(q, forced_outcome=forced)
+    # After collapsing every qubit the states coincide exactly.
+    for stabilizer in tableau.canonical_stabilizers():
+        assert vector.expectation_pauli(stabilizer).real == pytest.approx(1.0, abs=1e-9)
