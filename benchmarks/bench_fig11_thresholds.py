@@ -9,7 +9,7 @@ smaller sweeps that still reproduce the ordering and the ~10⁻² scale.
 
 import pytest
 
-from conftest import shots
+from conftest import shots, workers
 from repro.report import format_series
 from repro.threshold import estimate_threshold
 from repro.threshold.estimator import PAPER_THRESHOLDS
@@ -27,6 +27,7 @@ def test_fig11_threshold(scheme, once):
         distances=DISTANCES,
         shots=shots(400),
         seed=0,
+        workers=workers(),
     )
     series = {f"d={d}": study.logical_rates(d) for d in sorted(study.results)}
     print()
@@ -70,6 +71,7 @@ def test_fig11_compact_feasibility(once):
         shots=shots(800),
         seed=1,
         t1_cavity_override=1e-2,
+        workers=workers(),
     )
     series = {f"d={d}": study.logical_rates(d) for d in sorted(study.results)}
     print()

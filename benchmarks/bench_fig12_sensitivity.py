@@ -8,10 +8,12 @@ one swept.  The paper's qualitative findings, asserted here:
 * load-store duration and cavity size have only minor effects.
 """
 
+import math
+
 import numpy as np
 import pytest
 
-from conftest import shots
+from conftest import shots, workers
 from repro.report import format_series
 from repro.threshold import SENSITIVITY_PANELS, run_sensitivity_panel
 from repro.threshold.sensitivity import cavity_size_crossover
@@ -31,13 +33,18 @@ SWEEPS = {
 
 @pytest.mark.parametrize("panel", list(SENSITIVITY_PANELS))
 def test_fig12_panel(panel, once):
+    # sc_mode_error is the weakest knob — its swing is comparable to
+    # Monte-Carlo noise at the default budget, so give it 4x the shots
+    # to keep the assertions below statistically meaningful.
+    n = shots(400) * (4 if panel == "sc_mode_error" else 1)
     result = once(
         run_sensitivity_panel,
         panel,
         distances=DISTANCES,
         xs=list(SWEEPS[panel]),
-        shots=shots(400),
+        shots=n,
         seed=0,
+        workers=workers(),
     )
     print()
     print(format_series(
@@ -56,9 +63,11 @@ def test_fig12_panel(panel, once):
         assert rates[-1] > rates[1]
     elif panel == "sc_mode_error":
         # Only one mediated CNOT per merged plaquette per round, so this
-        # knob is the weakest of the gate errors; require the top end to
-        # dominate the sweep rather than a fixed ratio.
-        assert rates[-1] >= max(rates[:-1]) * 0.98
+        # is the weakest gate knob.  Require the top end to dominate the
+        # sweep up to the 2-sigma binomial noise of a point, and (dead-
+        # knob backstop) to sit strictly above the sweep's minimum.
+        noise = 2.0 * math.sqrt(max(rates) * (1.0 - max(rates)) / n)
+        assert rates[-1] >= max(rates[:-1]) - noise
         assert rates[-1] > min(rates)
     elif panel in ("cavity_t1", "transmon_t1"):
         # Better coherence must not hurt; plateau expected at the top end.

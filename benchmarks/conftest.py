@@ -5,6 +5,8 @@ prints the paper-vs-measured rows.  Monte-Carlo fidelity is controlled by
 the ``REPRO_SHOTS`` environment variable (the paper used 2,000,000 trials
 per point on a cluster; the defaults here are laptop-friendly and resolve
 the *shape* — who wins, where curves cross — rather than the third digit).
+``REPRO_WORKERS`` shards the Monte-Carlo engine across processes; it
+changes wall-clock only, never the measured counts (see EXPERIMENTS.md).
 """
 
 import os
@@ -14,6 +16,10 @@ import pytest
 
 def shots(default: int) -> int:
     return int(os.environ.get("REPRO_SHOTS", default))
+
+
+def workers(default: int = 1) -> int:
+    return int(os.environ.get("REPRO_WORKERS", default))
 
 
 @pytest.fixture()

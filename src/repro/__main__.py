@@ -76,11 +76,18 @@ def _cmd_inventory(args) -> None:
 
 def _cmd_threshold(args) -> None:
     from repro.report import format_series
+    from repro.sim import DEFAULT_CHUNK_SIZE
     from repro.threshold import estimate_threshold
 
     ps = [2e-3, 4e-3, 6e-3, 9e-3, 1.3e-2]
     study = estimate_threshold(
-        args.scheme, physical_error_rates=ps, distances=(3, 5), shots=args.shots
+        args.scheme,
+        physical_error_rates=ps,
+        distances=(3, 5),
+        shots=args.shots,
+        decoder=args.decoder,
+        workers=args.workers,
+        chunk_size=DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size,
     )
     series = {f"d={d}": study.logical_rates(d) for d in sorted(study.results)}
     print(format_series(ps, series, xlabel="p", title=f"scheme: {args.scheme}"))
@@ -103,6 +110,13 @@ def main(argv: list[str] | None = None) -> int:
     threshold = sub.add_parser("threshold")
     threshold.add_argument("--scheme", default="baseline")
     threshold.add_argument("--shots", type=int, default=500)
+    threshold.add_argument("--decoder", choices=("unionfind", "mwpm"),
+                           default="unionfind")
+    threshold.add_argument("--workers", type=int, default=1,
+                           help="worker processes for the Monte-Carlo engine")
+    threshold.add_argument("--chunk-size", type=int, default=None,
+                           help="shots materialized per chunk (memory bound; "
+                                "defaults to the engine default)")
     args = parser.parse_args(argv)
     {
         "tables": _cmd_tables,

@@ -140,6 +140,9 @@ def compile_program(
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; options: {POLICIES}")
     manager = manager or MemoryManager(machine)
+    # Qubits already living on a caller-supplied manager have no ALLOC
+    # event; remember them so the refresh audit still covers them.
+    preexisting = {q: manager.address_of[q].stack for q in manager.address_of}
     schedule = CompiledSchedule(machine=machine, costs=costs)
     preferred = _colocation_plan(program, machine, manager.usable_modes_per_stack)
 
@@ -147,43 +150,79 @@ def compile_program(
     qubit_ready_at: dict[int, int] = {}
     busy_intervals: list[tuple[int, int, tuple[tuple[int, int], ...]]] = []
     refresh_debt: dict[tuple[int, int], float] = {s: 0.0 for s in machine.stacks()}
+    # Start of each stack's current contiguous busy run (latency guard).
+    run_start: dict[tuple[int, int], int] = {s: 0 for s in machine.stacks()}
     # Pay refresh debt slightly ahead of the k-timestep deadline so break
     # granularity cannot push a resident just past it.
     deadline = max(1, machine.cavity_modes - 2)
 
-    def maybe_insert_refresh(stacks) -> None:
-        # Debt model: while a stack computes for D timesteps with r stored
-        # residents, it owes r·D/deadline rounds of correction; one free
-        # timestep (d rounds of interleaved extraction) repays `distance`
-        # rounds.  Breaks are inserted as soon as one timestep's worth of
-        # debt accumulates — §III-D's "delay some operations".
-        if not insert_refresh:
-            return
-        for s in stacks:
-            if refresh_debt[s] >= machine.distance:
-                breaks = int(refresh_debt[s] // machine.distance)
-                for _ in range(breaks):
-                    event = ScheduledEvent(
-                        stack_free_at[s], 1, "REFRESH", (), (s,), "background EC"
-                    )
-                    schedule.events.append(event)
-                    stack_free_at[s] = event.end
-                refresh_debt[s] -= breaks * machine.distance
-                # deliberately not added to busy_intervals: the stack is
-                # free for background refresh during these steps.
+    def stored_on(s, qubits) -> int:
+        return max(0, len(manager.residents(s)) - len(qubits))
 
-    def place(name, qubits, stacks, duration, detail="") -> ScheduledEvent:
-        maybe_insert_refresh(stacks)
-        start = max(
+    def proposed_start(stacks, qubits) -> int:
+        return max(
             [stack_free_at[s] for s in stacks]
             + [qubit_ready_at.get(q, 0) for q in qubits]
         )
+
+    def service_refresh(stacks, qubits, duration) -> None:
+        # Two triggers, one action.  Debt (throughput): while a stack
+        # computes for D timesteps with r stored residents it owes
+        # r·D/deadline rounds of correction; one free timestep repays
+        # `distance` rounds.  Run length (latency): extending a
+        # contiguous busy run past `deadline` would let a stored resident
+        # miss its k-step correction deadline (a lone event is the
+        # shortest possible run and is never split).  Either way, enough
+        # one-step breaks are inserted to give *every* stored resident a
+        # round — a partial break window would leave some residents
+        # entering the next run already stale — §III-D's "delay some
+        # operations".
+        if not insert_refresh:
+            return
+        for s in stacks:
+            start = proposed_start(stacks, qubits)
+            if start > stack_free_at[s]:
+                run_start[s] = start  # idle gap: background refresh ran
+                continue
+            stored = stored_on(s, qubits)
+            debt_due = refresh_debt[s] >= machine.distance
+            run_too_long = (
+                stored > 0
+                and start > run_start[s]
+                and start + duration - run_start[s] > deadline
+            )
+            if not (debt_due or run_too_long):
+                continue
+            # Size the window for every resident, operands included: the
+            # background pass refreshes stalest-first without knowing the
+            # upcoming operation, so an operand can win a staleness tie
+            # and leave a stored resident unserviced by a smaller window.
+            breaks = max(
+                int(refresh_debt[s] // machine.distance),
+                -(-len(manager.residents(s)) // machine.distance),  # ceil
+            )
+            for _ in range(breaks):
+                event = ScheduledEvent(
+                    stack_free_at[s], 1, "REFRESH", (), (s,), "background EC"
+                )
+                schedule.events.append(event)
+                stack_free_at[s] = event.end
+            refresh_debt[s] = max(0.0, refresh_debt[s] - breaks * machine.distance)
+            run_start[s] = stack_free_at[s]
+            # deliberately not added to busy_intervals: the stack is
+            # free for background refresh during these steps.
+
+    def place(name, qubits, stacks, duration, detail="") -> ScheduledEvent:
+        service_refresh(stacks, qubits, duration)
+        start = proposed_start(stacks, qubits)
+        for s in stacks:
+            if start > stack_free_at[s]:
+                run_start[s] = start
         event = ScheduledEvent(start, duration, name, tuple(qubits), tuple(stacks), detail)
         schedule.events.append(event)
         for s in stacks:
             stack_free_at[s] = event.end
-            stored = max(0, len(manager.residents(s)) - len(qubits))
-            refresh_debt[s] += duration * stored / deadline
+            refresh_debt[s] += duration * stored_on(s, qubits) / deadline
         for q in qubits:
             qubit_ready_at[q] = event.end
         busy_intervals.append((event.start, event.end, tuple(stacks)))
@@ -219,7 +258,7 @@ def compile_program(
             raise NotImplementedError(op.name)
 
     schedule.total_timesteps = max((e.end for e in schedule.events), default=0)
-    _replay_refresh(program, manager, schedule, busy_intervals)
+    _replay_refresh(program, manager, schedule, busy_intervals, preexisting)
     return schedule
 
 
@@ -259,15 +298,75 @@ def _schedule_cnot(op, manager, costs, policy, place, schedule) -> None:
     schedule.cnot_surgery += 1
 
 
-def _replay_refresh(program, manager, schedule, busy_intervals) -> None:
-    """Replay the timeline against the refresh scheduler (audit pass)."""
-    refresh = RefreshScheduler(manager)
-    for q in manager.address_of:
+class _ResidenceView:
+    """Time-varying stand-in for the manager during the refresh audit.
+
+    The audit must see each qubit at the stack hosting it *at that
+    timestep*; replaying against the post-compile manager pinned every
+    qubit to its final address, so a qubit that moved late looked
+    starved whenever its destination stack was busy (and vice versa).
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.by_stack: dict[tuple[int, int], list[int]] = {
+            s: [] for s in machine.stacks()
+        }
+
+    def residents(self, stack: tuple[int, int]) -> list[int]:
+        return self.by_stack[stack]
+
+    def place(self, qubit: int, stack: tuple[int, int]) -> None:
+        for residents in self.by_stack.values():
+            if qubit in residents:
+                residents.remove(qubit)
+        self.by_stack[stack].append(qubit)
+
+    def drop(self, qubit: int) -> None:
+        for residents in self.by_stack.values():
+            if qubit in residents:
+                residents.remove(qubit)
+
+
+def _replay_refresh(program, manager, schedule, busy_intervals, preexisting) -> None:
+    """Replay the timeline against the refresh scheduler (audit pass).
+
+    Residence is reconstructed from the event stream (ALLOC / MOVE /
+    MEASURE), so qubits are audited where they actually lived at each
+    timestep — including qubits measured away before the program ends.
+    ``preexisting`` maps qubits allocated before compilation began to
+    their entry-time stacks; they are tracked from t=0.
+    """
+    view = _ResidenceView(manager.machine)
+    refresh = RefreshScheduler(view)
+    for q, stack in preexisting.items():
+        view.place(q, stack)
         refresh.track(q)
+    changes: dict[int, list[tuple[str, int, tuple[int, int] | None]]] = {}
+    for event in schedule.events:
+        if event.name == "ALLOC":
+            changes.setdefault(event.end, []).append(
+                ("add", event.qubits[0], event.stacks[0])
+            )
+        elif event.name == "MOVE":
+            changes.setdefault(event.end, []).append(
+                ("move", event.qubits[0], event.stacks[-1])
+            )
+        elif event.name in ("MEASURE_Z", "MEASURE_X"):
+            changes.setdefault(event.end, []).append(("drop", event.qubits[0], None))
     op_ends: dict[int, list[int]] = {}
     for event in schedule.events:
         op_ends.setdefault(event.end, []).extend(event.qubits)
     for t in range(schedule.total_timesteps):
+        for kind, q, stack in changes.pop(t, ()):
+            if kind == "add":
+                view.place(q, stack)
+                refresh.track(q)
+            elif kind == "move":
+                view.place(q, stack)
+            else:
+                view.drop(q)
+                refresh.untrack(q)
         busy = set()
         for start, end, stacks in busy_intervals:
             if start <= t < end:

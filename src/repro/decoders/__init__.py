@@ -1,10 +1,22 @@
-"""Decoders for the surface code: matching graphs, MWPM and union-find."""
+"""Decoders for the surface code: matching graphs, MWPM and union-find.
 
+All decoders derive from :class:`SyndromeDecoder`, which adds the batched
+``decode_batch`` entry point (deduplicated decoding of whole syndrome
+arrays) used by the Monte-Carlo engine.
+"""
+
+from repro.decoders.batch import SyndromeDecoder
 from repro.decoders.graph import DecodingEdge, MatchingGraph
 from repro.decoders.mwpm import MWPMDecoder
 from repro.decoders.unionfind import UnionFindDecoder
 
-__all__ = ["DecodingEdge", "MatchingGraph", "MWPMDecoder", "UnionFindDecoder"]
+__all__ = [
+    "DecodingEdge",
+    "MatchingGraph",
+    "MWPMDecoder",
+    "SyndromeDecoder",
+    "UnionFindDecoder",
+]
 
 DECODERS = {
     "mwpm": MWPMDecoder,
@@ -12,7 +24,7 @@ DECODERS = {
 }
 
 
-def make_decoder(name: str, graph: MatchingGraph):
+def make_decoder(name: str, graph: MatchingGraph) -> SyndromeDecoder:
     """Instantiate a decoder by name (``"mwpm"`` or ``"unionfind"``)."""
     try:
         cls = DECODERS[name]

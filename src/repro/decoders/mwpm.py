@@ -23,12 +23,13 @@ import networkx as nx
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
+from repro.decoders.batch import SyndromeDecoder
 from repro.decoders.graph import MatchingGraph
 
 __all__ = ["MWPMDecoder"]
 
 
-class MWPMDecoder:
+class MWPMDecoder(SyndromeDecoder):
     """Exact minimum-weight perfect matching on the decoding graph."""
 
     def __init__(self, graph: MatchingGraph):

@@ -11,6 +11,7 @@ fraction of the cost — the property tests compare it against MWPM directly.
 
 from __future__ import annotations
 
+from repro.decoders.batch import SyndromeDecoder
 from repro.decoders.graph import MatchingGraph
 
 __all__ = ["UnionFindDecoder"]
@@ -55,7 +56,7 @@ class _DSU:
         return ra
 
 
-class UnionFindDecoder:
+class UnionFindDecoder(SyndromeDecoder):
     """Weighted union-find decoding on a :class:`MatchingGraph`."""
 
     def __init__(self, graph: MatchingGraph, resolution: int = 16, max_units: int = 4096):

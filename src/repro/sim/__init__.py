@@ -1,6 +1,16 @@
 """Monte-Carlo sampling and logical-error-rate estimation."""
 
-from repro.sim.frame import FrameSimulator, sample_detection_data
+from repro.sim.engine import (
+    DEFAULT_CHUNK_SIZE,
+    SHOT_BLOCK,
+    count_logical_errors,
+    shot_blocks,
+)
+from repro.sim.frame import (
+    FrameSimulator,
+    sample_detection_chunks,
+    sample_detection_data,
+)
 from repro.sim.experiment import (
     LogicalErrorResult,
     run_memory_experiment,
@@ -8,9 +18,14 @@ from repro.sim.experiment import (
 from repro.sim.stats import wilson_interval
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "FrameSimulator",
     "LogicalErrorResult",
+    "SHOT_BLOCK",
+    "count_logical_errors",
     "run_memory_experiment",
+    "sample_detection_chunks",
     "sample_detection_data",
+    "shot_blocks",
     "wilson_interval",
 ]

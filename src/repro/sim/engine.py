@@ -1,0 +1,151 @@
+"""Batched, sharded Monte-Carlo engine.
+
+The unit of reproducibility is the *shot block*: shots are partitioned
+into fixed-size blocks of :data:`SHOT_BLOCK` (the partition depends only
+on the total shot count), and ``np.random.SeedSequence(seed).spawn`` gives
+every block its own independent child stream.  A block's sampled data —
+and hence its logical-error count — is therefore a pure function of
+``(circuit, seed, block index)``.  Summing per-block counts makes the
+total **bit-identical for any ``workers`` or ``chunk_size``**; those knobs
+only choose which process handles which blocks and how many blocks are
+materialized at once.
+
+A *chunk* is a run of consecutive blocks sized by ``chunk_size``: the
+memory high-water mark (one detector array of ``chunk_size`` rows per
+in-flight chunk) and the multiprocessing work unit.  Within a chunk the
+syndromes of all its blocks are decoded together through
+``decoder.decode_batch``, so duplicate syndromes across the whole chunk
+are decoded once.
+
+Sharding uses ``multiprocessing`` with one ``(chunk, child seeds)`` task
+per worker invocation; the circuit and the (already-constructed) decoder
+are shipped once per worker via the pool initializer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuits import Circuit
+from repro.decoders.batch import SyndromeDecoder
+from repro.sim.frame import sample_detection_chunks
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "SHOT_BLOCK",
+    "count_logical_errors",
+    "shot_blocks",
+]
+
+#: RNG granularity: shots per independently-seeded block.  Fixed — never
+#: derived from ``chunk_size`` — so results are invariant to chunking.
+SHOT_BLOCK = 1024
+
+#: Default shots materialized (and batch-decoded) per chunk.
+DEFAULT_CHUNK_SIZE = 16384
+
+
+def shot_blocks(shots: int) -> list[int]:
+    """Partition ``shots`` into the canonical block sizes.
+
+    Full :data:`SHOT_BLOCK`-sized blocks plus one trailing remainder; the
+    partition is a function of ``shots`` alone.
+    """
+    if shots < 1:
+        raise ValueError("need at least one shot")
+    sizes = [SHOT_BLOCK] * (shots // SHOT_BLOCK)
+    if shots % SHOT_BLOCK:
+        sizes.append(shots % SHOT_BLOCK)
+    return sizes
+
+
+def _pack_observables(observables: np.ndarray, obs_ids: Sequence[int]) -> np.ndarray:
+    """Pack the basis observable columns into one int64 mask per shot."""
+    packed = np.zeros(observables.shape[0], dtype=np.int64)
+    for bit, j in enumerate(obs_ids):
+        packed |= observables[:, j].astype(np.int64) << bit
+    return packed
+
+
+def _run_chunk(
+    circuit: Circuit,
+    decoder: SyndromeDecoder,
+    basis_ids: Sequence[int],
+    obs_ids: Sequence[int],
+    blocks: list[tuple[int, np.random.SeedSequence]],
+) -> int:
+    """Sample, decode and score one chunk; returns its logical-error count."""
+    # Preallocate the chunk's syndrome array and fill block-by-block, so
+    # peak detector memory really is the documented one-chunk bound (a
+    # concatenate of per-block slices would transiently double it).
+    chunk_shots = sum(block_shots for block_shots, _ in blocks)
+    dets = np.empty((chunk_shots, len(basis_ids)), dtype=bool)
+    actual = np.empty(chunk_shots, dtype=np.int64)
+    at = 0
+    for data in sample_detection_chunks(circuit, blocks):
+        dets[at : at + data.shots] = data.detectors[:, basis_ids]
+        actual[at : at + data.shots] = _pack_observables(data.observables, obs_ids)
+        at += data.shots
+    predictions = decoder.decode_batch(dets)
+    return int(np.count_nonzero(predictions != actual))
+
+
+# Per-worker state installed by the pool initializer, so the circuit and
+# decoder are pickled once per worker instead of once per chunk.
+_WORKER: dict = {}
+
+
+def _init_worker(circuit, decoder, basis_ids, obs_ids) -> None:
+    _WORKER["args"] = (circuit, decoder, basis_ids, obs_ids)
+
+
+def _run_chunk_in_worker(blocks) -> int:
+    return _run_chunk(*_WORKER["args"], blocks)
+
+
+def count_logical_errors(
+    circuit: Circuit,
+    decoder: SyndromeDecoder,
+    basis_ids: Sequence[int],
+    obs_ids: Sequence[int],
+    shots: int,
+    seed: int | None = None,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> int:
+    """Count shots whose decoded prediction disagrees with the truth.
+
+    Parameters
+    ----------
+    workers:
+        Processes to shard chunks across; ``1`` runs inline.
+    chunk_size:
+        Shots materialized per chunk, rounded down to whole blocks
+        (minimum one block).  Bounds peak memory at any total shot count.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    sizes = shot_blocks(shots)
+    seeds = np.random.SeedSequence(seed).spawn(len(sizes))
+    blocks = list(zip(sizes, seeds))
+    per_chunk = max(1, chunk_size // SHOT_BLOCK)
+    chunks = [blocks[i : i + per_chunk] for i in range(0, len(blocks), per_chunk)]
+
+    if workers == 1 or len(chunks) == 1:
+        return sum(
+            _run_chunk(circuit, decoder, basis_ids, obs_ids, chunk) for chunk in chunks
+        )
+
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(
+        processes=min(workers, len(chunks)),
+        initializer=_init_worker,
+        initargs=(circuit, decoder, basis_ids, obs_ids),
+    ) as pool:
+        # Summation is order-independent, so drain shards as they finish.
+        return sum(pool.imap_unordered(_run_chunk_in_worker, chunks))

@@ -1,21 +1,21 @@
 """End-to-end logical-error-rate estimation for memory experiments.
 
 Pipeline per experiment: build the noisy circuit → extract its detector
-error model → build the basis matching graph → Monte-Carlo sample detection
-events → decode each shot → compare the decoder's observable prediction to
-the sampled truth.  Shots whose syndrome repeats are served from a decode
-cache (a large win below threshold, where most shots are quiet).
+error model → build the basis matching graph → hand everything to the
+batched Monte-Carlo engine (:mod:`repro.sim.engine`), which samples
+detection events in bounded-memory chunks, deduplicates syndromes, and
+decodes each unique syndrome once — optionally sharded across worker
+processes.  For a fixed ``seed`` the error count is bit-identical
+regardless of ``workers`` and ``chunk_size``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.decoders import MatchingGraph, make_decoder
 from repro.dem import DetectorErrorModel
-from repro.sim.frame import sample_detection_data
+from repro.sim.engine import DEFAULT_CHUNK_SIZE, count_logical_errors
 from repro.sim.stats import wilson_interval
 from repro.surface_code.extraction import MemoryCircuit
 
@@ -61,6 +61,8 @@ def run_memory_experiment(
     shots: int,
     decoder: str = "unionfind",
     seed: int | None = None,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> LogicalErrorResult:
     """Estimate the logical error rate of a memory circuit.
 
@@ -73,32 +75,24 @@ def run_memory_experiment(
         EXPERIMENTS.md for the fidelity/runtime trade-off).
     decoder:
         ``"unionfind"`` (fast, default) or ``"mwpm"`` (reference).
+    workers:
+        Worker processes for the sharded engine (1 = run inline).
+    chunk_size:
+        Shots materialized per chunk; bounds peak memory.  Neither knob
+        changes the result for a fixed ``seed`` (see EXPERIMENTS.md).
     """
     dem = DetectorErrorModel(memory.circuit)
     graph = MatchingGraph.from_dem(dem, memory.basis)
-    decode = make_decoder(decoder, graph).decode
-
-    data = sample_detection_data(memory.circuit, shots, seed)
-    basis_ids = dem.basis_detectors(memory.basis)
-    dets = data.detectors[:, basis_ids]
-    obs_ids = dem.basis_observables(memory.basis)
-    actual = np.zeros(shots, dtype=np.int64)
-    for bit, j in enumerate(obs_ids):
-        actual |= data.observables[:, j].astype(np.int64) << bit
-
-    errors = 0
-    cache: dict[bytes, int] = {}
-    for shot in range(shots):
-        row = dets[shot]
-        key = row.tobytes()
-        prediction = cache.get(key)
-        if prediction is None:
-            events = np.nonzero(row)[0].tolist()
-            prediction = decode(events)
-            cache[key] = prediction
-        if prediction != actual[shot]:
-            errors += 1
-
+    errors = count_logical_errors(
+        memory.circuit,
+        make_decoder(decoder, graph),
+        dem.basis_detectors(memory.basis),
+        dem.basis_observables(memory.basis),
+        shots,
+        seed=seed,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
     return LogicalErrorResult(
         scheme=memory.scheme,
         basis=memory.basis,

@@ -15,7 +15,7 @@ from typing import Sequence
 
 from repro.arch import compact_memory_circuit, natural_memory_circuit
 from repro.noise import BASELINE_HARDWARE, MEMORY_HARDWARE, ErrorModel, HardwareParams
-from repro.sim import LogicalErrorResult, run_memory_experiment
+from repro.sim import DEFAULT_CHUNK_SIZE, LogicalErrorResult, run_memory_experiment
 from repro.surface_code import baseline_memory_circuit
 from repro.surface_code.extraction import MemoryCircuit
 
@@ -79,6 +79,21 @@ class ThresholdStudy:
     def logical_rates(self, distance: int) -> list[float]:
         return [r.logical_error_rate for r in self.results[distance]]
 
+    def _ordered_distances(self) -> list[int]:
+        """Caller-ordered distances, validated against the results keys.
+
+        Historically ``rows()`` and ``threshold_estimate()`` ordered by
+        ``sorted(self.results)`` while ``self.distances`` kept caller
+        order, so tables built with unsorted distances silently mismatched
+        their headers.  Both now use ``self.distances``.
+        """
+        if sorted(self.results) != sorted(self.distances):
+            raise ValueError(
+                f"results keys {sorted(self.results)} do not match "
+                f"distances {self.distances}"
+            )
+        return self.distances
+
     def threshold_estimate(self) -> float | None:
         """Average crossing point of consecutive-distance curves.
 
@@ -86,7 +101,9 @@ class ThresholdStudy:
         points on one side of the threshold).
         """
         crossings = []
-        ds = sorted(self.results)
+        # Pairing must walk numerically consecutive distances no matter
+        # what order the caller listed them in.
+        ds = sorted(self._ordered_distances())
         for d1, d2 in zip(ds, ds[1:]):
             crossing = _crossing(
                 self.physical_error_rates,
@@ -101,12 +118,15 @@ class ThresholdStudy:
         return math.exp(sum(math.log(c) for c in crossings) / len(crossings))
 
     def rows(self) -> list[tuple]:
-        """Table rows (p, then one logical rate column per distance)."""
+        """Table rows (p, then one logical rate column per distance).
+
+        Columns follow ``self.distances`` — the same order a caller would
+        use for headers.
+        """
+        ds = self._ordered_distances()
         out = []
         for i, p in enumerate(self.physical_error_rates):
-            out.append(
-                (p, *[self.results[d][i].logical_error_rate for d in sorted(self.results)])
-            )
+            out.append((p, *[self.results[d][i].logical_error_rate for d in ds]))
         return out
 
 
@@ -116,17 +136,31 @@ def _crossing(
     rates_high_d: Sequence[float],
     min_rate: float,
 ) -> float | None:
-    """Log-log interpolated crossing of two logical-error curves."""
+    """Log-log interpolated crossing of two logical-error curves.
+
+    Rates below ``min_rate`` (e.g. zero observed errors) are clamped up to
+    it before taking logs.  A grid point where *both* curves are clamped
+    carries no ordering information — its gap is zero vacuously — so it
+    can neither declare an exact crossing nor anchor an interpolation;
+    at least one unclamped rate is required on each endpoint used.
+    """
 
     def log_gap(i: int) -> float:
         a = max(rates_low_d[i], min_rate)
         b = max(rates_high_d[i], min_rate)
         return math.log(b) - math.log(a)
 
+    def informative(i: int) -> bool:
+        return rates_low_d[i] >= min_rate or rates_high_d[i] >= min_rate
+
     for i in range(len(ps) - 1):
         g0, g1 = log_gap(i), log_gap(i + 1)
         if g0 == 0.0:
-            return ps[i]
+            if informative(i):
+                return ps[i]
+            continue
+        if not (informative(i) and informative(i + 1)):
+            continue
         if g0 < 0.0 <= g1 or g1 <= 0.0 < g0:
             # Interpolate in log-p where the gap changes sign.
             x0, x1 = math.log(ps[i]), math.log(ps[i + 1])
@@ -147,8 +181,13 @@ def estimate_threshold(
     rounds: int | None = None,
     scale_coherence: bool = False,
     t1_cavity_override: float | None = None,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> ThresholdStudy:
     """Sweep p × d for one scheme and return the full study.
+
+    ``workers`` and ``chunk_size`` are forwarded to the Monte-Carlo
+    engine; they change runtime and memory, never the measured counts.
 
     The paper runs 2,000,000 trials per point; ``shots`` trades precision
     for runtime (see EXPERIMENTS.md).
@@ -183,6 +222,8 @@ def estimate_threshold(
                 shots=shots,
                 decoder=decoder,
                 seed=None if seed is None else seed + 1000 * d + i,
+                workers=workers,
+                chunk_size=chunk_size,
             )
             row.append(result)
         study.results[d] = row

@@ -25,7 +25,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.noise import MEMORY_HARDWARE, REFERENCE_PHYSICAL_ERROR, ErrorModel
-from repro.sim import run_memory_experiment
+from repro.sim import DEFAULT_CHUNK_SIZE, run_memory_experiment
 from repro.threshold.estimator import build_memory_circuit
 
 __all__ = [
@@ -133,8 +133,13 @@ def run_sensitivity_panel(
     scheme: str = "compact_interleaved",
     decoder: str = "unionfind",
     seed: int = 0,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> SensitivityPanel:
-    """Measure one sensitivity panel (default: Compact, Interleaved)."""
+    """Measure one sensitivity panel (default: Compact, Interleaved).
+
+    ``workers``/``chunk_size`` tune the Monte-Carlo engine only.
+    """
     if panel not in SENSITIVITY_PANELS:
         raise ValueError(f"unknown panel {panel!r}; options: {sorted(SENSITIVITY_PANELS)}")
     axis_label, default_xs, reference = SENSITIVITY_PANELS[panel]
@@ -152,7 +157,12 @@ def run_sensitivity_panel(
             model = _model_for(panel, x)
             memory = build_memory_circuit(scheme, d, model)
             result = run_memory_experiment(
-                memory, shots=shots, decoder=decoder, seed=seed + 1000 * d + i
+                memory,
+                shots=shots,
+                decoder=decoder,
+                seed=seed + 1000 * d + i,
+                workers=workers,
+                chunk_size=chunk_size,
             )
             rates.append(result.logical_error_rate)
         out.rates[d] = rates

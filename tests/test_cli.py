@@ -27,6 +27,14 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "baseline" in out and "threshold estimate" in out
 
+    def test_threshold_engine_flags(self, capsys):
+        assert main([
+            "threshold", "--scheme", "baseline", "--shots", "60",
+            "--workers", "2", "--chunk-size", "1024",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "threshold estimate" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

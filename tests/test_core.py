@@ -233,6 +233,22 @@ class TestCompiler:
         text = schedule.timeline()
         assert "CNOT" in text and "total:" in text
 
+    def test_audit_covers_qubits_preallocated_on_caller_manager(self):
+        # A qubit parked on a caller-supplied manager has no ALLOC event,
+        # but the refresh audit must still track it: with breaks disabled
+        # and its stack saturated by a long CNOT burst, its starvation
+        # must be reported rather than silently skipped.
+        machine = Machine(stack_grid=(1, 1), cavity_modes=6, distance=3)
+        manager = MemoryManager(machine)
+        manager.allocate(9)
+        program = LogicalProgram().alloc(0, 1)
+        for _ in range(10):
+            program.cnot(0, 1)
+        schedule = compile_program(
+            program, machine, manager=manager, insert_refresh=False
+        )
+        assert schedule.refresh_violations > 0
+
     def test_unknown_policy(self):
         program = LogicalProgram().alloc(0)
         with pytest.raises(ValueError):

@@ -1,0 +1,157 @@
+"""Tests for the batched, sharded Monte-Carlo engine and decode_batch.
+
+The engine's contract: for a fixed seed, the logical-error count is a pure
+function of (circuit, seed, shots) — bit-identical for any ``workers`` or
+``chunk_size`` — and decode work scales with *unique* syndromes, not shots
+(the regression the old unbounded per-shot dict cache guarded poorly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.decoders import MatchingGraph, UnionFindDecoder, make_decoder
+from repro.dem import DetectorErrorModel
+from repro.noise import BASELINE_HARDWARE, ErrorModel
+from repro.sim import SHOT_BLOCK, run_memory_experiment, shot_blocks
+from repro.sim.frame import sample_detection_chunks, sample_detection_data
+from repro.surface_code import baseline_memory_circuit
+
+
+def _memory(p=5e-3, d=3):
+    return baseline_memory_circuit(d, ErrorModel(hardware=BASELINE_HARDWARE, p=p))
+
+
+class TestShotBlocks:
+    def test_partition_sums_to_shots(self):
+        for shots in (1, SHOT_BLOCK - 1, SHOT_BLOCK, SHOT_BLOCK + 1, 5000):
+            sizes = shot_blocks(shots)
+            assert sum(sizes) == shots
+            assert all(s == SHOT_BLOCK for s in sizes[:-1])
+            assert 0 < sizes[-1] <= SHOT_BLOCK
+
+    def test_partition_depends_only_on_shots(self):
+        assert shot_blocks(4000) == shot_blocks(4000)
+
+    def test_rejects_zero_shots(self):
+        with pytest.raises(ValueError):
+            shot_blocks(0)
+
+
+class TestDeterminism:
+    """Same seed ⇒ identical result for any workers / chunk_size."""
+
+    # 2100 shots spans two full blocks plus a remainder block.
+    SHOTS = 2100
+
+    @pytest.mark.parametrize("decoder", ["unionfind", "mwpm"])
+    def test_workers_and_chunks_do_not_change_counts(self, decoder):
+        memory = _memory()
+        reference = run_memory_experiment(
+            memory, shots=self.SHOTS, decoder=decoder, seed=11
+        )
+        for workers, chunk_size in [(1, 1024), (1, 1500), (4, 1024), (4, 4096)]:
+            result = run_memory_experiment(
+                memory,
+                shots=self.SHOTS,
+                decoder=decoder,
+                seed=11,
+                workers=workers,
+                chunk_size=chunk_size,
+            )
+            assert result == reference, (workers, chunk_size)
+
+    def test_different_seeds_differ(self):
+        memory = _memory()
+        a = run_memory_experiment(memory, shots=self.SHOTS, seed=1)
+        b = run_memory_experiment(memory, shots=self.SHOTS, seed=2)
+        assert a.logical_errors != b.logical_errors
+
+    def test_invalid_engine_parameters(self):
+        memory = _memory()
+        with pytest.raises(ValueError):
+            run_memory_experiment(memory, shots=100, workers=0)
+        with pytest.raises(ValueError):
+            run_memory_experiment(memory, shots=100, chunk_size=0)
+
+
+class TestSampleDetectionChunks:
+    def test_blocks_match_direct_sampling(self):
+        memory = _memory()
+        seeds = np.random.SeedSequence(3).spawn(2)
+        blocks = [(100, seeds[0]), (50, seeds[1])]
+        chunks = list(sample_detection_chunks(memory.circuit, blocks))
+        assert [c.shots for c in chunks] == [100, 50]
+        direct = sample_detection_data(
+            memory.circuit, 100, np.random.default_rng(seeds[0])
+        )
+        assert np.array_equal(chunks[0].detectors, direct.detectors)
+        assert np.array_equal(chunks[0].observables, direct.observables)
+
+
+class TestDecodeBatch:
+    def _decoder(self):
+        memory = _memory()
+        dem = DetectorErrorModel(memory.circuit)
+        graph = MatchingGraph.from_dem(dem, memory.basis)
+        return make_decoder("unionfind", graph), dem, memory
+
+    def test_matches_per_shot_decode(self):
+        decoder, dem, memory = self._decoder()
+        data = sample_detection_data(memory.circuit, 256, 0)
+        dets = data.detectors[:, dem.basis_detectors(memory.basis)]
+        batched = decoder.decode_batch(dets)
+        for shot in range(dets.shape[0]):
+            events = np.flatnonzero(dets[shot]).tolist()
+            assert batched[shot] == decoder.decode(events)
+
+    def test_decodes_each_unique_syndrome_once(self):
+        decoder, dem, memory = self._decoder()
+        data = sample_detection_data(memory.circuit, 64, 0)
+        dets = data.detectors[:, dem.basis_detectors(memory.basis)]
+        # Tile the batch: 4x the shots, same unique syndromes.
+        tiled = np.vstack([dets] * 4)
+        unique_nonzero = len(
+            {row.tobytes() for row in dets if row.any()}
+        )
+        calls = []
+        inner = decoder.decode
+        decoder.decode = lambda events: calls.append(1) or inner(events)
+        decoder.decode_batch(tiled)
+        assert len(calls) == unique_nonzero
+
+    def test_zero_syndromes_skip_the_decoder(self):
+        decoder, _, _ = self._decoder()
+        decoder.decode = None  # any call would raise
+        out = decoder.decode_batch(np.zeros((5, decoder.graph.num_detectors), bool))
+        assert np.array_equal(out, np.zeros(5, dtype=np.int64))
+
+    def test_rejects_non_2d_input(self):
+        decoder, _, _ = self._decoder()
+        with pytest.raises(ValueError):
+            decoder.decode_batch(np.zeros(7, dtype=bool))
+
+    def test_empty_batch(self):
+        decoder, _, _ = self._decoder()
+        out = decoder.decode_batch(np.zeros((0, decoder.graph.num_detectors), bool))
+        assert out.shape == (0,)
+
+
+class TestBoundedDecodeWork:
+    def test_decode_calls_scale_with_unique_syndromes_not_shots(self, monkeypatch):
+        """Regression for the seed's unbounded per-shot cache.
+
+        At low p most shots repeat a handful of syndromes; total decode
+        invocations (the cache-miss analogue, and the working-set bound)
+        must stay far below the shot count even across many chunks.
+        """
+        memory = _memory(p=3e-4)
+        shots = 8192
+        calls = []
+        inner = UnionFindDecoder.decode
+        monkeypatch.setattr(
+            UnionFindDecoder,
+            "decode",
+            lambda self, events: calls.append(1) or inner(self, events),
+        )
+        run_memory_experiment(memory, shots=shots, seed=0, chunk_size=1024)
+        assert 0 < len(calls) < shots // 4

@@ -8,7 +8,7 @@ memory manager, random programs through the compiler.
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.circuits import Circuit
 from repro.core import (
@@ -209,6 +209,16 @@ class TestCompilerProperties:
         st.integers(2, 6),
         st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12),
     )
+    # Regression pins: refresh-audit starvation found by hypothesis — a
+    # qubit audited at its (post-MOVE) final address while its old stack
+    # had free slots, and break windows too small to service every
+    # resident before the next busy run.
+    @example(n=6, pairs=[(0, 1), (0, 3), (0, 4), (0, 5), (1, 2), (0, 1), (3, 0)])
+    @example(
+        n=6,
+        pairs=[(0, 1), (0, 1), (0, 1), (0, 2), (0, 4), (0, 5), (3, 0), (0, 1), (0, 1), (0, 1)],
+    )
+    @example(n=6, pairs=[(0, 1), (0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (0, 2), (1, 0)])
     def test_schedules_are_well_formed(self, n, pairs):
         program = LogicalProgram()
         program.alloc(*range(n))

@@ -16,9 +16,12 @@ from repro.threshold import (
 from repro.threshold.estimator import _crossing
 
 
-def synthetic_study(rates_by_distance, ps):
+def synthetic_study(rates_by_distance, ps, distances=(3, 5)):
     study = ThresholdStudy(
-        scheme="synthetic", basis="Z", physical_error_rates=list(ps), distances=[3, 5]
+        scheme="synthetic",
+        basis="Z",
+        physical_error_rates=list(ps),
+        distances=list(distances),
     )
     for d, rates in rates_by_distance.items():
         study.results[d] = [
@@ -54,6 +57,32 @@ class TestCrossing:
         crossing = _crossing(ps, [1e-3, 1e-1], [1e-3, 2e-1], min_rate=1e-9)
         assert crossing == pytest.approx(1e-3)
 
+    def test_no_spurious_crossing_when_both_curves_clamped(self):
+        # Zero observed errors on both curves at low p clamps both rates
+        # to min_rate, making the gap vacuously zero — previously reported
+        # as a crossing at ps[0] even though the curves never cross.
+        ps = [1e-3, 4e-3, 8e-3]
+        crossing = _crossing(
+            ps, [0.0, 1e-2, 2e-2], [0.0, 1e-3, 2e-3], min_rate=1e-4
+        )
+        assert crossing is None
+
+    def test_real_crossing_survives_clamped_low_p_point(self):
+        ps = [1e-3, 4e-3, 8e-3]
+        # Both curves clamped at ps[0]; genuine crossing in (ps[1], ps[2]).
+        crossing = _crossing(
+            ps, [0.0, 1e-3, 1e-1], [0.0, 1e-4, 3e-1], min_rate=1e-5
+        )
+        assert crossing is not None
+        assert ps[1] < crossing < ps[2]
+
+    def test_clamped_grid_point_cannot_anchor_interpolation(self):
+        # The sign-change branch must also ignore intervals whose endpoint
+        # is doubly-clamped (g1 == 0 vacuously would snap to ps[1]).
+        ps = [1e-3, 4e-3]
+        crossing = _crossing(ps, [1e-2, 0.0], [1e-3, 0.0], min_rate=1e-4)
+        assert crossing is None
+
 
 class TestThresholdStudy:
     def test_threshold_estimate_from_synthetic_data(self):
@@ -77,6 +106,39 @@ class TestThresholdStudy:
         rows = study.rows()
         assert len(rows) == 2
         assert rows[0] == (1e-3, 0.1, 0.05)
+
+    def test_rows_follow_caller_distance_order(self):
+        # Columns must match self.distances (what a caller builds headers
+        # from), not sorted(results) — these diverged for unsorted input.
+        ps = [1e-3, 2e-3]
+        study = synthetic_study(
+            {3: [0.1, 0.2], 5: [0.05, 0.3]}, ps, distances=[5, 3]
+        )
+        assert study.rows()[0] == (1e-3, 0.05, 0.1)
+
+    def test_threshold_estimate_invariant_to_distance_order(self):
+        ps = [4e-3, 6e-3, 9e-3, 1.3e-2]
+        rates = {
+            3: [2e-2, 5e-2, 1.1e-1, 2.0e-1],
+            5: [8e-3, 3.5e-2, 1.6e-1, 3.5e-1],
+            7: [3e-3, 2.5e-2, 2.1e-1, 4.5e-1],
+        }
+        reference = synthetic_study(rates, ps, distances=[3, 5, 7]).threshold_estimate()
+        assert reference is not None
+        # Three distances catch wrong pairing (e.g. (5,3),(3,7)) that a
+        # two-distance reversal cannot: pairs must always be the
+        # numerically consecutive (3,5),(5,7).
+        for order in ([5, 3, 7], [7, 5, 3], [7, 3, 5]):
+            shuffled = synthetic_study(rates, ps, distances=order)
+            assert shuffled.threshold_estimate() == pytest.approx(reference)
+
+    def test_mismatched_results_keys_rejected(self):
+        ps = [1e-3, 2e-3]
+        study = synthetic_study({3: [0.1, 0.2]}, ps, distances=[3, 5])
+        with pytest.raises(ValueError):
+            study.rows()
+        with pytest.raises(ValueError):
+            study.threshold_estimate()
 
 
 class TestBuildDispatch:
