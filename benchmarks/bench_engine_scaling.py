@@ -1,112 +1,147 @@
-"""Engine scaling: shots/sec of the batched sharded engine vs the seed loop.
+"""Engine scaling: shots/sec by distance × backend × workers.
 
-The seed implementation decoded shots one at a time in a pure-Python loop
-with an unbounded per-syndrome ``dict`` cache, after materializing *all*
-shots' detection data at once.  The engine samples in bounded chunks,
-dedups syndromes with ``np.unique``, and shards ``(chunk, child seed)``
-tasks across worker processes.  This bench measures throughput for the
-legacy loop and for the engine at 1/2/4 workers on the paper's d=7
-operating point, and checks that worker count never changes the counts.
+Two layers are measured and recorded in ``BENCH_engine.json`` — a file
+tracked in git, refreshed from a full-shots local run and committed with
+perf-affecting PRs so the trajectory is readable across history (CI smoke
+regenerations at reduced shots live only in the runner workspace):
 
-The ≥3x-at-4-workers claim is asserted only when the machine actually has
-4 cores to shard across; on smaller boxes the bench still verifies the
-engine is no slower than the legacy loop and prints the measured table.
+- **sampling** — the frame-simulation pipeline alone (circuit →
+  detector/observable data, block-by-block exactly as the engine consumes
+  it).  This is where the compiled ``packed`` backend (uint64 bit-planes,
+  fused ops, sparse GF(2) detector matrix) must beat the seed
+  per-instruction bool-array simulator by ≥ ``REPRO_BENCH_MIN_SPEEDUP``
+  (default 5x; CI smoke runs with 2x as the regression gate).
+- **end_to_end** — the full engine including decoding, per backend and
+  worker count.  At d=7 near p=0.005 nearly every syndrome is unique, so
+  decoding dominates end-to-end wall-clock; the sampling numbers isolate
+  what this pipeline optimizes.
+
+Worker count and backend must never change each backend's measured counts
+(each backend has its own canonical stream; across backends the counts
+agree statistically).
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 
 from conftest import shots
-from repro.decoders import MatchingGraph, make_decoder
-from repro.dem import DetectorErrorModel
 from repro.noise import BASELINE_HARDWARE, ErrorModel
 from repro.report import ascii_table
-from repro.sim import run_memory_experiment
-from repro.sim.frame import sample_detection_data
+from repro.sim import run_memory_experiment, shot_blocks
+from repro.sim.engine import make_sampler
 from repro.surface_code import baseline_memory_circuit
 
-DISTANCE = 7
-P = 2e-3
+DISTANCES = (5, 7)
+P = 5e-3
 WORKER_COUNTS = (1, 2, 4)
+BACKENDS = ("reference", "packed")
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
-def _legacy_per_shot_loop(memory, n: int, seed: int) -> int:
-    """The seed repo's decode path, kept verbatim as the reference."""
-    dem = DetectorErrorModel(memory.circuit)
-    graph = MatchingGraph.from_dem(dem, memory.basis)
-    decode = make_decoder("unionfind", graph).decode
-    data = sample_detection_data(memory.circuit, n, seed)
-    dets = data.detectors[:, dem.basis_detectors(memory.basis)]
-    actual = np.zeros(n, dtype=np.int64)
-    for bit, j in enumerate(dem.basis_observables(memory.basis)):
-        actual |= data.observables[:, j].astype(np.int64) << bit
-    errors = 0
-    cache: dict[bytes, int] = {}
-    for shot in range(n):
-        row = dets[shot]
-        key = row.tobytes()
-        prediction = cache.get(key)
-        if prediction is None:
-            prediction = decode(np.nonzero(row)[0].tolist())
-            cache[key] = prediction
-        if prediction != actual[shot]:
-            errors += 1
-    return errors
+def _min_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", 5.0))
+
+
+def _sampling_rate(circuit, backend: str, n: int) -> float:
+    """Shots/sec of the sampling pipeline, block-by-block like the engine."""
+    sampler = make_sampler(circuit, backend)
+    blocks = list(zip(shot_blocks(n), np.random.SeedSequence(0).spawn(len(shot_blocks(n)))))
+    sampler.sample(min(n, 256), 0)  # warm-up outside the timed region
+    start = time.perf_counter()
+    for block_shots, seed in blocks:
+        sampler.sample(block_shots, seed)
+    return n / (time.perf_counter() - start)
 
 
 def test_engine_scaling(once):
-    memory = baseline_memory_circuit(
-        DISTANCE, ErrorModel(hardware=BASELINE_HARDWARE, p=P)
-    )
     n = shots(4096)
 
     def measure():
-        timings = {}
-        start = time.perf_counter()
-        legacy_errors = _legacy_per_shot_loop(memory, n, seed=0)
-        timings["per-shot loop"] = time.perf_counter() - start
-        counts = {}
-        for w in WORKER_COUNTS:
-            start = time.perf_counter()
-            # chunk_size=1024 -> one chunk per 1024-shot block, so every
-            # worker count in WORKER_COUNTS gets at least `w` chunks at
-            # the default n=4096 and the pool is never capped below w.
-            result = run_memory_experiment(
-                memory, shots=n, seed=0, workers=w, chunk_size=1024
+        sampling, end_to_end = [], []
+        for d in DISTANCES:
+            memory = baseline_memory_circuit(
+                d, ErrorModel(hardware=BASELINE_HARDWARE, p=P)
             )
-            timings[f"engine workers={w}"] = time.perf_counter() - start
-            counts[w] = result.logical_errors
-        return legacy_errors, counts, timings
+            for backend in BACKENDS:
+                sampling.append({
+                    "distance": d,
+                    "backend": backend,
+                    "shots_per_sec": _sampling_rate(memory.circuit, backend, n),
+                })
+            counts = {}
+            for backend in BACKENDS:
+                for w in WORKER_COUNTS:
+                    start = time.perf_counter()
+                    # chunk_size=1024 -> one chunk per block, so every worker
+                    # count gets at least `w` chunks at the default n=4096.
+                    result = run_memory_experiment(
+                        memory, shots=n, seed=0, workers=w, chunk_size=1024,
+                        backend=backend,
+                    )
+                    end_to_end.append({
+                        "distance": d,
+                        "backend": backend,
+                        "workers": w,
+                        "shots_per_sec": n / (time.perf_counter() - start),
+                        "logical_errors": result.logical_errors,
+                    })
+                    counts[(backend, w)] = result.logical_errors
+            # Worker count must never change a backend's counts; backends
+            # have different canonical streams, so compare statistically.
+            for backend in BACKENDS:
+                per_worker = {counts[(backend, w)] for w in WORKER_COUNTS}
+                assert len(per_worker) == 1, (backend, counts)
+            ref, packed = counts[("reference", 1)], counts[("packed", 1)]
+            assert abs(ref - packed) <= max(10, 0.5 * ref), counts
+        return sampling, end_to_end
 
-    legacy_errors, counts, timings = once(measure)
+    sampling, end_to_end = once(measure)
 
-    base = timings["per-shot loop"]
-    rows = [
-        (name, f"{n / elapsed:,.0f}", f"{base / elapsed:.2f}x")
-        for name, elapsed in timings.items()
-    ]
+    rate = {
+        (row["distance"], row["backend"]): row["shots_per_sec"] for row in sampling
+    }
+    speedups = {d: rate[(d, "packed")] / rate[(d, "reference")] for d in DISTANCES}
+    payload = {
+        "p": P,
+        "shots": n,
+        "cpu_count": os.cpu_count(),
+        "sampling": sampling,
+        "end_to_end": end_to_end,
+        "sampling_speedup_packed_vs_reference": {
+            str(d): speedups[d] for d in DISTANCES
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
     print()
     print(ascii_table(
-        ["configuration", "shots/sec", "speedup vs loop"],
-        rows,
-        title=f"Engine scaling (baseline d={DISTANCE}, p={P}, {n} shots,"
-              f" {os.cpu_count()} cores)",
+        ["d", "backend", "sampling shots/sec", "speedup"],
+        [
+            (row["distance"], row["backend"], f"{row['shots_per_sec']:,.0f}",
+             f"{row['shots_per_sec'] / rate[(row['distance'], 'reference')]:.2f}x")
+            for row in sampling
+        ],
+        title=f"Frame-simulation pipeline (p={P}, {n} shots)",
     ))
+    print(ascii_table(
+        ["d", "backend", "workers", "shots/sec"],
+        [
+            (row["distance"], row["backend"], row["workers"],
+             f"{row['shots_per_sec']:,.0f}")
+            for row in end_to_end
+        ],
+        title=f"End-to-end engine incl. decoding ({os.cpu_count()} cores)",
+    ))
+    print(f"wrote {BENCH_JSON}")
 
-    # Worker count must never change the measured counts.
-    assert len(set(counts.values())) == 1, counts
-    # Both paths target the same quantity; with different RNG layouts the
-    # counts agree statistically, not bitwise.
-    assert abs(legacy_errors - counts[1]) <= max(10, 0.5 * legacy_errors)
-
-    cores = os.cpu_count() or 1
-    if cores >= 4:
-        assert base / timings["engine workers=4"] >= 3.0, (
-            "expected >=3x over the per-shot loop at 4 workers"
+    minimum = _min_speedup()
+    for d in DISTANCES:
+        assert speedups[d] >= minimum, (
+            f"packed sampling only {speedups[d]:.2f}x reference at d={d}; "
+            f"expected >= {minimum}x"
         )
-    else:
-        print(f"only {cores} core(s): parallel speedup not measurable here;"
-              " asserting no-regression instead")
-        assert base / timings["engine workers=1"] >= 0.7

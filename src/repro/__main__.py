@@ -88,6 +88,7 @@ def _cmd_threshold(args) -> None:
         decoder=args.decoder,
         workers=args.workers,
         chunk_size=DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size,
+        backend=args.backend,
     )
     series = {f"d={d}": study.logical_rates(d) for d in sorted(study.results)}
     print(format_series(ps, series, xlabel="p", title=f"scheme: {args.scheme}"))
@@ -117,6 +118,10 @@ def main(argv: list[str] | None = None) -> int:
     threshold.add_argument("--chunk-size", type=int, default=None,
                            help="shots materialized per chunk (memory bound; "
                                 "defaults to the engine default)")
+    threshold.add_argument("--backend", choices=("packed", "reference"),
+                           default="packed",
+                           help="sampling backend: compiled bit-plane (packed)"
+                                " or per-instruction bool-array (reference)")
     args = parser.parse_args(argv)
     {
         "tables": _cmd_tables,

@@ -51,5 +51,12 @@ class SyndromeDecoder:
         for k, row_idx in enumerate(index):
             events = np.flatnonzero(dets[row_idx])
             if events.size:
-                predictions[k] = self.decode(events.tolist())
+                prediction = self.decode(events.tolist())
+                if not -(2**63) <= prediction < 2**63:
+                    raise ValueError(
+                        f"decoder returned observable mask {prediction:#x}, which "
+                        "does not fit the int64 prediction array (at most 63 "
+                        "observables per basis are supported)"
+                    )
+                predictions[k] = prediction
         return predictions[inverse.ravel()]

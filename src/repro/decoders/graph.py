@@ -40,6 +40,11 @@ class DecodingEdge:
     ``v == boundary`` (the node index equal to ``num_detectors``) marks a
     boundary edge.  ``observables`` is a bitmask over the basis's logical
     observables flipped when this edge is part of the correction.
+
+    ``weight`` is cached: it is read O(edges) times during decoder
+    construction (e.g. the MWPM CSR build reads it twice per edge), and
+    XOR-merges of parallel edges write ``probability``, which invalidates
+    the cache.
     """
 
     u: int
@@ -47,9 +52,16 @@ class DecodingEdge:
     probability: float
     observables: int = 0
 
+    def __setattr__(self, name: str, value) -> None:
+        if name == "probability":
+            object.__setattr__(self, "_weight", None)
+        object.__setattr__(self, name, value)
+
     @property
     def weight(self) -> float:
-        return probability_to_weight(self.probability)
+        if self._weight is None:
+            self._weight = probability_to_weight(self.probability)
+        return self._weight
 
 
 class MatchingGraph:

@@ -1,6 +1,8 @@
 """Monte-Carlo sampling and logical-error-rate estimation."""
 
+from repro.sim.compiled import CompiledCircuit, compile_circuit
 from repro.sim.engine import (
+    BACKENDS,
     DEFAULT_CHUNK_SIZE,
     SHOT_BLOCK,
     count_logical_errors,
@@ -18,10 +20,13 @@ from repro.sim.experiment import (
 from repro.sim.stats import wilson_interval
 
 __all__ = [
+    "BACKENDS",
+    "CompiledCircuit",
     "DEFAULT_CHUNK_SIZE",
     "FrameSimulator",
     "LogicalErrorResult",
     "SHOT_BLOCK",
+    "compile_circuit",
     "count_logical_errors",
     "run_memory_experiment",
     "sample_detection_chunks",

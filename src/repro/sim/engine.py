@@ -10,16 +10,26 @@ total **bit-identical for any ``workers`` or ``chunk_size``**; those knobs
 only choose which process handles which blocks and how many blocks are
 materialized at once.
 
+Two sampling backends implement that contract:
+
+- ``"packed"`` (default): the circuit is lowered **once** per
+  :func:`count_logical_errors` call into a
+  :class:`~repro.sim.compiled.CompiledCircuit` — fused vectorized ops over
+  uint64 bit-planes plus sparse GF(2) detector/observable matrices — and
+  shipped once per worker via the pool initializer, not rebuilt per chunk.
+- ``"reference"``: the original per-instruction bool-array
+  :class:`~repro.sim.frame.FrameSimulator`, kept as the semantic oracle.
+
+Each backend defines its own canonical random stream (see
+``repro/sim/compiled.py``); within a backend, results are deterministic
+and invariant to ``workers``/``chunk_size`` at fixed seed.
+
 A *chunk* is a run of consecutive blocks sized by ``chunk_size``: the
 memory high-water mark (one detector array of ``chunk_size`` rows per
 in-flight chunk) and the multiprocessing work unit.  Within a chunk the
 syndromes of all its blocks are decoded together through
 ``decoder.decode_batch``, so duplicate syndromes across the whole chunk
 are decoded once.
-
-Sharding uses ``multiprocessing`` with one ``(chunk, child seeds)`` task
-per worker invocation; the circuit and the (already-constructed) decoder
-are shipped once per worker via the pool initializer.
 """
 
 from __future__ import annotations
@@ -31,12 +41,15 @@ import numpy as np
 
 from repro.circuits import Circuit
 from repro.decoders.batch import SyndromeDecoder
-from repro.sim.frame import sample_detection_chunks
+from repro.sim.compiled import compile_circuit
+from repro.sim.frame import DetectionData, sample_detection_data
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_CHUNK_SIZE",
     "SHOT_BLOCK",
     "count_logical_errors",
+    "make_sampler",
     "shot_blocks",
 ]
 
@@ -46,6 +59,9 @@ SHOT_BLOCK = 1024
 
 #: Default shots materialized (and batch-decoded) per chunk.
 DEFAULT_CHUNK_SIZE = 16384
+
+#: Sampling backends accepted by :func:`count_logical_errors`.
+BACKENDS = ("packed", "reference")
 
 
 def shot_blocks(shots: int) -> list[int]:
@@ -62,8 +78,32 @@ def shot_blocks(shots: int) -> list[int]:
     return sizes
 
 
+class _ReferenceSampler:
+    """The bool-array per-instruction simulator behind the block protocol."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+
+    def sample(self, shots: int, seed) -> DetectionData:
+        return sample_detection_data(self.circuit, shots, np.random.default_rng(seed))
+
+
+def make_sampler(circuit: Circuit, backend: str):
+    """Build the per-block sampler for ``backend`` (compiled once here)."""
+    if backend == "packed":
+        return compile_circuit(circuit)
+    if backend == "reference":
+        return _ReferenceSampler(circuit)
+    raise ValueError(f"unknown backend {backend!r}; options: {BACKENDS}")
+
+
 def _pack_observables(observables: np.ndarray, obs_ids: Sequence[int]) -> np.ndarray:
     """Pack the basis observable columns into one int64 mask per shot."""
+    if len(obs_ids) > 63:
+        raise ValueError(
+            f"cannot pack {len(obs_ids)} observables into an int64 mask "
+            "(at most 63 observables per basis are supported)"
+        )
     packed = np.zeros(observables.shape[0], dtype=np.int64)
     for bit, j in enumerate(obs_ids):
         packed |= observables[:, j].astype(np.int64) << bit
@@ -71,7 +111,7 @@ def _pack_observables(observables: np.ndarray, obs_ids: Sequence[int]) -> np.nda
 
 
 def _run_chunk(
-    circuit: Circuit,
+    sampler,
     decoder: SyndromeDecoder,
     basis_ids: Sequence[int],
     obs_ids: Sequence[int],
@@ -85,7 +125,8 @@ def _run_chunk(
     dets = np.empty((chunk_shots, len(basis_ids)), dtype=bool)
     actual = np.empty(chunk_shots, dtype=np.int64)
     at = 0
-    for data in sample_detection_chunks(circuit, blocks):
+    for block_shots, seed in blocks:
+        data = sampler.sample(block_shots, seed)
         dets[at : at + data.shots] = data.detectors[:, basis_ids]
         actual[at : at + data.shots] = _pack_observables(data.observables, obs_ids)
         at += data.shots
@@ -93,13 +134,13 @@ def _run_chunk(
     return int(np.count_nonzero(predictions != actual))
 
 
-# Per-worker state installed by the pool initializer, so the circuit and
-# decoder are pickled once per worker instead of once per chunk.
+# Per-worker state installed by the pool initializer, so the sampler
+# (compiled circuit) and decoder are pickled once per worker, not per chunk.
 _WORKER: dict = {}
 
 
-def _init_worker(circuit, decoder, basis_ids, obs_ids) -> None:
-    _WORKER["args"] = (circuit, decoder, basis_ids, obs_ids)
+def _init_worker(sampler, decoder, basis_ids, obs_ids) -> None:
+    _WORKER["args"] = (sampler, decoder, basis_ids, obs_ids)
 
 
 def _run_chunk_in_worker(blocks) -> int:
@@ -115,6 +156,7 @@ def count_logical_errors(
     seed: int | None = None,
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: str = "packed",
 ) -> int:
     """Count shots whose decoded prediction disagrees with the truth.
 
@@ -125,11 +167,23 @@ def count_logical_errors(
     chunk_size:
         Shots materialized per chunk, rounded down to whole blocks
         (minimum one block).  Bounds peak memory at any total shot count.
+    backend:
+        ``"packed"`` (compiled uint64 bit-plane sampler, default) or
+        ``"reference"`` (per-instruction bool-array simulator).  Each is
+        deterministic and worker/chunk-invariant, but they define
+        different canonical random streams, so counts agree across
+        backends statistically rather than bitwise.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
+    if len(obs_ids) > 63:
+        raise ValueError(
+            f"cannot pack {len(obs_ids)} observables into an int64 mask "
+            "(at most 63 observables per basis are supported)"
+        )
+    sampler = make_sampler(circuit, backend)
     sizes = shot_blocks(shots)
     seeds = np.random.SeedSequence(seed).spawn(len(sizes))
     blocks = list(zip(sizes, seeds))
@@ -138,14 +192,14 @@ def count_logical_errors(
 
     if workers == 1 or len(chunks) == 1:
         return sum(
-            _run_chunk(circuit, decoder, basis_ids, obs_ids, chunk) for chunk in chunks
+            _run_chunk(sampler, decoder, basis_ids, obs_ids, chunk) for chunk in chunks
         )
 
     ctx = multiprocessing.get_context()
     with ctx.Pool(
         processes=min(workers, len(chunks)),
         initializer=_init_worker,
-        initargs=(circuit, decoder, basis_ids, obs_ids),
+        initargs=(sampler, decoder, basis_ids, obs_ids),
     ) as pool:
         # Summation is order-independent, so drain shards as they finish.
         return sum(pool.imap_unordered(_run_chunk_in_worker, chunks))

@@ -63,6 +63,7 @@ def run_memory_experiment(
     seed: int | None = None,
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: str = "packed",
 ) -> LogicalErrorResult:
     """Estimate the logical error rate of a memory circuit.
 
@@ -80,6 +81,10 @@ def run_memory_experiment(
     chunk_size:
         Shots materialized per chunk; bounds peak memory.  Neither knob
         changes the result for a fixed ``seed`` (see EXPERIMENTS.md).
+    backend:
+        Sampling backend: ``"packed"`` (compiled bit-plane simulator,
+        default) or ``"reference"`` (bool-array per-instruction
+        simulator).  Each backend has its own canonical random stream.
     """
     dem = DetectorErrorModel(memory.circuit)
     graph = MatchingGraph.from_dem(dem, memory.basis)
@@ -92,6 +97,7 @@ def run_memory_experiment(
         seed=seed,
         workers=workers,
         chunk_size=chunk_size,
+        backend=backend,
     )
     return LogicalErrorResult(
         scheme=memory.scheme,

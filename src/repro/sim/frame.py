@@ -1,13 +1,18 @@
-"""Vectorized Pauli-frame Monte-Carlo sampling.
+"""Vectorized Pauli-frame Monte-Carlo sampling (the *reference* backend).
 
 Because every noise channel in the model is Pauli and every gate is
 Clifford, a shot is fully described by its error *frame*: an X-flip and a
 Z-flip bit per qubit, propagated through the Clifford gates.  The reference
 (noiseless) outcome of every measurement can be taken as 0 since detectors
 and observables are XORs that are deterministic without noise — so the
-sampled frame directly yields detector values.  All shots are propagated
-simultaneously as numpy bit-planes, giving ~10⁶ shot-gates/second in pure
-Python.
+sampled frame directly yields detector values.
+
+This module interprets the instruction list per shot-batch with bool
+arrays — deliberately simple, kept as the semantic oracle behind the
+engine's ``backend="reference"``.  The production path is
+:mod:`repro.sim.compiled`, which lowers the circuit once into fused ops
+over uint64 bit-planes (64 shots/word) and is ~10x faster; its random
+stream differs, so the two backends agree statistically, not bitwise.
 """
 
 from __future__ import annotations

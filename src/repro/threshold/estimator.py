@@ -183,11 +183,13 @@ def estimate_threshold(
     t1_cavity_override: float | None = None,
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: str = "packed",
 ) -> ThresholdStudy:
     """Sweep p × d for one scheme and return the full study.
 
-    ``workers`` and ``chunk_size`` are forwarded to the Monte-Carlo
-    engine; they change runtime and memory, never the measured counts.
+    ``workers``, ``chunk_size`` and ``backend`` are forwarded to the
+    Monte-Carlo engine; the first two change runtime and memory, never
+    the measured counts (``backend`` selects a canonical random stream).
 
     The paper runs 2,000,000 trials per point; ``shots`` trades precision
     for runtime (see EXPERIMENTS.md).
@@ -224,6 +226,7 @@ def estimate_threshold(
                 seed=None if seed is None else seed + 1000 * d + i,
                 workers=workers,
                 chunk_size=chunk_size,
+                backend=backend,
             )
             row.append(result)
         study.results[d] = row

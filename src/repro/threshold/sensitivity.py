@@ -135,10 +135,11 @@ def run_sensitivity_panel(
     seed: int = 0,
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: str = "packed",
 ) -> SensitivityPanel:
     """Measure one sensitivity panel (default: Compact, Interleaved).
 
-    ``workers``/``chunk_size`` tune the Monte-Carlo engine only.
+    ``workers``/``chunk_size``/``backend`` tune the Monte-Carlo engine only.
     """
     if panel not in SENSITIVITY_PANELS:
         raise ValueError(f"unknown panel {panel!r}; options: {sorted(SENSITIVITY_PANELS)}")
@@ -163,6 +164,7 @@ def run_sensitivity_panel(
                 seed=seed + 1000 * d + i,
                 workers=workers,
                 chunk_size=chunk_size,
+                backend=backend,
             )
             rates.append(result.logical_error_rate)
         out.rates[d] = rates

@@ -35,6 +35,18 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "threshold estimate" in out
 
+    def test_threshold_reference_backend(self, capsys):
+        assert main([
+            "threshold", "--scheme", "baseline", "--shots", "60",
+            "--backend", "reference",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "threshold estimate" in out
+
+    def test_threshold_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["threshold", "--backend", "simd"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -1,0 +1,305 @@
+"""Tests for the precompiled bit-packed frame-simulation pipeline.
+
+The packed backend's contract against the reference bool-array simulator:
+
+- **Exact frame equality** on the deterministic part: any Clifford circuit
+  whose noise channels fire with probability 0 or 1 produces bit-identical
+  detector/observable data on both backends (no randomness reaches the
+  outcome, whatever each backend draws).
+- **Statistical agreement** under real noise at matched seeds: the two
+  backends define different canonical random streams, so rates (not bits)
+  must match.
+- A pinned end-to-end logical-error-rate regression at d=3 for both
+  backends, so a silent semantics change cannot hide behind statistics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.noise import BASELINE_HARDWARE, ErrorModel
+from repro.sim import compile_circuit, run_memory_experiment
+from repro.sim.compiled import _bernoulli_positions, _lower
+from repro.sim.frame import sample_detection_data
+from repro.sim.stats import wilson_interval
+from repro.surface_code import baseline_memory_circuit
+
+
+def _assert_backends_bit_identical(circuit: Circuit, shots: int = 130) -> None:
+    """Both backends must produce identical detection data (any seeds)."""
+    reference = sample_detection_data(circuit, shots, 0)
+    packed = compile_circuit(circuit).sample(shots, 1)
+    assert np.array_equal(reference.detectors, packed.detectors)
+    assert np.array_equal(reference.observables, packed.observables)
+
+
+# ----------------------------------------------------------------------
+# Deterministic part: exact equality
+# ----------------------------------------------------------------------
+class TestExactEquivalence:
+    def test_cx_chain_within_one_instruction_stays_sequential(self):
+        # CX 0 1 followed by CX 1 2 in a single instruction must chain:
+        # naive whole-row vectorization would read the pre-update x[1].
+        c = Circuit()
+        c.x_error([0], 1.0)
+        c.cx(0, 1, 1, 2)
+        c.measure(0, 1, 2)
+        for m in range(3):
+            c.add_detector([m])
+        c.add_observable([2])
+        _assert_backends_bit_identical(c)
+
+    def test_repeated_h_is_identity(self):
+        # H H on the same qubit must not fuse into a single swap.
+        c = Circuit()
+        c.z_error([0], 1.0)
+        c.h(0)
+        c.h(0)
+        c.h(0)
+        c.measure(0)
+        c.add_detector([0])
+        _assert_backends_bit_identical(c)
+
+    def test_repeated_s_accumulates(self):
+        # S S maps Z-frame twice: z ^= x applied twice is identity on z.
+        c = Circuit()
+        c.x_error([0], 1.0)
+        c.s(0)
+        c.s(0)
+        c.h(0)
+        c.measure(0)
+        c.add_detector([0])
+        _assert_backends_bit_identical(c)
+
+    def test_deterministic_gate_zoo(self):
+        c = Circuit()
+        c.x_error([0, 2], 1.0)
+        c.z_error([1], 1.0)
+        c.h(1)
+        c.cz(0, 1)
+        c.swap(1, 2)
+        c.cx(2, 3)
+        c.reset(0)
+        c.append("Y_ERROR", (3,), (1.0,))
+        c.measure(0, 1, 2, 3, flip_probability=1.0)
+        c.measure(0, 1, 2, 3)
+        for m in range(8):
+            c.add_detector([m])
+        c.add_observable([3, 7])
+        _assert_backends_bit_identical(c)
+
+    def test_noiseless_memory_circuit_is_quiet(self):
+        em = ErrorModel(
+            hardware=BASELINE_HARDWARE,
+            p=0.0,
+            scale_coherence=False,
+            t1_transmon_override=float("inf"),
+        )
+        memory = baseline_memory_circuit(3, em)
+        data = compile_circuit(memory.circuit).sample(96, 0)
+        assert not data.detectors.any()
+        assert not data.observables.any()
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random Clifford circuits with deterministic noise
+# ----------------------------------------------------------------------
+_N_QUBITS = 4
+
+
+@st.composite
+def deterministic_circuits(draw):
+    """Random Clifford circuits whose errors fire with probability 0 or 1."""
+    c = Circuit(_N_QUBITS)
+    qubit = st.integers(0, _N_QUBITS - 1)
+    pairs = st.tuples(qubit, qubit).filter(lambda ab: ab[0] != ab[1])
+    n_ops = draw(st.integers(1, 24))
+    for _ in range(n_ops):
+        op = draw(st.sampled_from(
+            ["H", "S", "S_DAG", "CX", "CZ", "SWAP", "R",
+             "X_ERROR", "Y_ERROR", "Z_ERROR", "M"]
+        ))
+        if op in ("CX", "CZ", "SWAP"):
+            a, b = draw(pairs)
+            c.append(op, (a, b))
+        elif op in ("X_ERROR", "Y_ERROR", "Z_ERROR"):
+            c.append(op, (draw(qubit),), (draw(st.sampled_from([0.0, 1.0])),))
+        elif op == "M":
+            c.measure(draw(qubit),
+                      flip_probability=draw(st.sampled_from([0.0, 1.0])))
+        else:
+            c.append(op, (draw(qubit),))
+    if not c.num_measurements:
+        c.measure(0)
+    measurement = st.integers(0, c.num_measurements - 1)
+    for _ in range(draw(st.integers(1, 4))):
+        c.add_detector(draw(st.lists(measurement, min_size=1, max_size=3)))
+    c.add_observable(draw(st.lists(measurement, min_size=1, max_size=3)))
+    return c
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(deterministic_circuits())
+    def test_backends_bit_identical_on_deterministic_circuits(self, circuit):
+        _assert_backends_bit_identical(circuit, shots=70)
+
+
+# ----------------------------------------------------------------------
+# Statistical agreement under real noise
+# ----------------------------------------------------------------------
+class TestStatisticalEquivalence:
+    def test_depolarize1_flip_rate(self):
+        # X and Y (2 of 3 kinds) flip a Z-basis measurement: rate = 2p/3.
+        p = 0.3
+        c = Circuit()
+        c.append("DEPOLARIZE1", (0,), (p,))
+        c.measure(0)
+        c.add_detector([0])
+        shots = 40_000
+        hits = int(compile_circuit(c).sample(shots, 5).detectors.sum())
+        lo, hi = wilson_interval(hits, shots)
+        assert lo <= 2 * p / 3 <= hi
+
+    def test_depolarize2_marginal(self):
+        # Each qubit of a pair sees an X-component with rate 8p/15.
+        p = 0.3
+        c = Circuit()
+        c.append("DEPOLARIZE2", (0, 1), (p,))
+        c.measure(0, 1)
+        c.add_detector([0])
+        c.add_detector([1])
+        shots = 40_000
+        data = compile_circuit(c).sample(shots, 6)
+        for col in range(2):
+            lo, hi = wilson_interval(int(data.detectors[:, col].sum()), shots)
+            assert lo <= 8 * p / 15 <= hi
+
+    def test_measurement_flip_rate(self):
+        c = Circuit()
+        c.measure(0, flip_probability=0.2)
+        c.add_detector([0])
+        shots = 40_000
+        hits = int(compile_circuit(c).sample(shots, 7).detectors.sum())
+        lo, hi = wilson_interval(hits, shots)
+        assert lo <= 0.2 <= hi
+
+    def test_memory_circuit_detector_rates_match_reference(self):
+        memory = baseline_memory_circuit(
+            3, ErrorModel(hardware=BASELINE_HARDWARE, p=5e-3)
+        )
+        shots = 20_000
+        reference = sample_detection_data(memory.circuit, shots, 0)
+        packed = compile_circuit(memory.circuit).sample(shots, 0)
+        # Column means are binomial with se ~ sqrt(p(1-p)/shots) ~ 2e-3;
+        # 5 sigma on the difference of two independent estimates.
+        diff = np.abs(reference.detectors.mean(0) - packed.detectors.mean(0))
+        assert diff.max() < 0.015
+        assert abs(reference.observables.mean() - packed.observables.mean()) < 0.015
+
+
+# ----------------------------------------------------------------------
+# Pinned end-to-end regression
+# ----------------------------------------------------------------------
+class TestPinnedRegression:
+    # d=3 baseline, p=5e-3, 2048 shots, seed=7, unionfind decoder.
+    PINNED = {"packed": 75, "reference": 79}
+
+    @pytest.mark.parametrize("backend", sorted(PINNED))
+    def test_d3_logical_error_count(self, backend):
+        memory = baseline_memory_circuit(
+            3, ErrorModel(hardware=BASELINE_HARDWARE, p=5e-3)
+        )
+        result = run_memory_experiment(memory, shots=2048, seed=7, backend=backend)
+        assert result.logical_errors == self.PINNED[backend]
+
+
+# ----------------------------------------------------------------------
+# Lowering and primitive internals
+# ----------------------------------------------------------------------
+class TestLowering:
+    def test_consecutive_disjoint_gates_fuse(self):
+        c = Circuit()
+        c.h(0)
+        c.h(1)
+        c.h(2)
+        ops = _lower(c)
+        assert len(ops) == 1
+        np.testing.assert_array_equal(ops[0][1][0], [0, 1, 2])
+
+    def test_colliding_gates_split(self):
+        c = Circuit()
+        c.h(0)
+        c.h(0)
+        assert len(_lower(c)) == 2
+
+    def test_same_probability_noise_fuses_across_instructions(self):
+        c = Circuit()
+        c.x_error([0, 1], 0.01)
+        c.x_error([2], 0.01)
+        c.x_error([3], 0.02)  # different p: new op
+        ops = _lower(c)
+        assert len(ops) == 2
+        np.testing.assert_array_equal(ops[0][1][0], [0, 1, 2])
+
+    def test_pauli_gates_lower_to_nothing(self):
+        c = Circuit()
+        c.x(0)
+        c.y(1)
+        c.z(2)
+        c.append("I", (0,))
+        assert _lower(c) == []
+
+    def test_measurements_keep_record_slots(self):
+        c = Circuit()
+        c.measure(3)
+        c.measure(1)
+        ops = _lower(c)
+        assert len(ops) == 1  # same flip probability: fused
+        qubits, slots = ops[0][1]
+        np.testing.assert_array_equal(qubits, [3, 1])
+        np.testing.assert_array_equal(slots, [0, 1])
+
+
+class TestBernoulliPositions:
+    def test_edge_probabilities(self):
+        rng = np.random.default_rng(0)
+        assert _bernoulli_positions(rng, 100, 0.0).size == 0
+        np.testing.assert_array_equal(
+            _bernoulli_positions(rng, 5, 1.0), np.arange(5)
+        )
+        assert _bernoulli_positions(rng, 0, 0.5).size == 0
+
+    def test_positions_strictly_increasing_and_in_range(self):
+        rng = np.random.default_rng(1)
+        positions = _bernoulli_positions(rng, 10_000, 0.37)
+        assert (np.diff(positions) > 0).all()
+        assert positions.min() >= 0 and positions.max() < 10_000
+
+    def test_hit_rate_matches_p(self):
+        rng = np.random.default_rng(2)
+        n, p = 200_000, 0.013
+        hits = _bernoulli_positions(rng, n, p).size
+        lo, hi = wilson_interval(hits, n)
+        assert lo <= p <= hi
+
+
+class TestValidation:
+    def test_rejects_zero_shots(self):
+        c = Circuit()
+        c.measure(0)
+        with pytest.raises(ValueError):
+            compile_circuit(c).sample(0)
+
+    def test_shots_not_multiple_of_word_size(self):
+        # Padding bits in the last word must never leak into results.
+        c = Circuit()
+        c.x_error([0], 1.0)
+        c.measure(0)
+        c.add_detector([0])
+        for shots in (1, 63, 64, 65, 130):
+            data = compile_circuit(c).sample(shots, 0)
+            assert data.detectors.shape == (shots, 1)
+            assert data.detectors.all()

@@ -61,6 +61,32 @@ class TestGraph:
         assert g.num_edges > g.num_detectors  # space + time + boundary edges
         assert g.undetectable_probability == 0.0
 
+    def test_edge_weight_cached_and_invalidated_on_write(self, monkeypatch):
+        edge = DecodingEdge(0, 1, 0.1)
+        calls = []
+        import repro.decoders.graph as graph_module
+
+        real = probability_to_weight
+        monkeypatch.setattr(
+            graph_module,
+            "probability_to_weight",
+            lambda p: calls.append(p) or real(p),
+        )
+        first = edge.weight
+        assert edge.weight == first  # served from cache
+        assert len(calls) == 1
+        edge.probability = 0.2  # write invalidates
+        assert edge.weight == pytest.approx(real(0.2))
+        assert len(calls) == 2
+
+    def test_merged_edge_weight_tracks_new_probability(self):
+        g = MatchingGraph(2, "Z")
+        g.add_edge(0, 1, 0.1, 0)
+        stale = g.edges[0].weight
+        g.add_edge(0, 1, 0.1, 0)  # XOR-merge writes probability
+        assert g.edges[0].weight == pytest.approx(probability_to_weight(0.18))
+        assert g.edges[0].weight != stale
+
     def test_decomposition_of_long_mechanism(self):
         g = MatchingGraph(4, "Z")
         g.add_edge(0, 1, 0.01, 0)

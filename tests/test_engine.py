@@ -38,16 +38,22 @@ class TestShotBlocks:
 
 
 class TestDeterminism:
-    """Same seed ⇒ identical result for any workers / chunk_size."""
+    """Same seed ⇒ identical result for any workers / chunk_size.
+
+    Holds per backend: each of ``packed``/``reference`` defines its own
+    canonical random stream, and within a stream the count is a pure
+    function of (circuit, seed, shots).
+    """
 
     # 2100 shots spans two full blocks plus a remainder block.
     SHOTS = 2100
 
+    @pytest.mark.parametrize("backend", ["packed", "reference"])
     @pytest.mark.parametrize("decoder", ["unionfind", "mwpm"])
-    def test_workers_and_chunks_do_not_change_counts(self, decoder):
+    def test_workers_and_chunks_do_not_change_counts(self, decoder, backend):
         memory = _memory()
         reference = run_memory_experiment(
-            memory, shots=self.SHOTS, decoder=decoder, seed=11
+            memory, shots=self.SHOTS, decoder=decoder, seed=11, backend=backend
         )
         for workers, chunk_size in [(1, 1024), (1, 1500), (4, 1024), (4, 4096)]:
             result = run_memory_experiment(
@@ -57,14 +63,26 @@ class TestDeterminism:
                 seed=11,
                 workers=workers,
                 chunk_size=chunk_size,
+                backend=backend,
             )
-            assert result == reference, (workers, chunk_size)
+            assert result == reference, (workers, chunk_size, backend)
 
-    def test_different_seeds_differ(self):
+    @pytest.mark.parametrize("backend", ["packed", "reference"])
+    def test_different_seeds_differ(self, backend):
         memory = _memory()
-        a = run_memory_experiment(memory, shots=self.SHOTS, seed=1)
-        b = run_memory_experiment(memory, shots=self.SHOTS, seed=2)
+        a = run_memory_experiment(memory, shots=self.SHOTS, seed=1, backend=backend)
+        b = run_memory_experiment(memory, shots=self.SHOTS, seed=2, backend=backend)
         assert a.logical_errors != b.logical_errors
+
+    def test_backends_agree_statistically(self):
+        memory = _memory()
+        packed = run_memory_experiment(memory, shots=self.SHOTS, seed=3)
+        reference = run_memory_experiment(
+            memory, shots=self.SHOTS, seed=3, backend="reference"
+        )
+        assert abs(packed.logical_errors - reference.logical_errors) <= max(
+            10, 0.5 * reference.logical_errors
+        )
 
     def test_invalid_engine_parameters(self):
         memory = _memory()
@@ -72,6 +90,34 @@ class TestDeterminism:
             run_memory_experiment(memory, shots=100, workers=0)
         with pytest.raises(ValueError):
             run_memory_experiment(memory, shots=100, chunk_size=0)
+        with pytest.raises(ValueError):
+            run_memory_experiment(memory, shots=100, backend="simd")
+
+
+class TestPackObservables:
+    def test_packs_low_bits(self):
+        from repro.sim.engine import _pack_observables
+
+        observables = np.array([[True, False], [False, True], [True, True]])
+        np.testing.assert_array_equal(
+            _pack_observables(observables, [0, 1]), [1, 2, 3]
+        )
+
+    def test_rejects_more_than_63_observables(self):
+        from repro.sim.engine import _pack_observables
+
+        observables = np.zeros((4, 64), dtype=bool)
+        with pytest.raises(ValueError, match="63 observables"):
+            _pack_observables(observables, list(range(64)))
+
+    def test_count_logical_errors_rejects_wide_basis_up_front(self):
+        from repro.sim.engine import count_logical_errors
+
+        memory = _memory()
+        with pytest.raises(ValueError, match="63 observables"):
+            count_logical_errors(
+                memory.circuit, None, [0], list(range(64)), shots=10
+            )
 
 
 class TestSampleDetectionChunks:
