@@ -1,20 +1,23 @@
 """Decoders for the surface code: matching graphs, MWPM and union-find.
 
-All decoders derive from :class:`SyndromeDecoder`, which adds the batched
-``decode_batch`` entry point (deduplicated decoding of whole syndrome
-arrays) used by the Monte-Carlo engine.
+All decoders derive from :class:`SyndromeDecoder`, which adds the tiered
+batched ``decode_batch`` entry point (dedup, analytic weight-1/2 tables,
+bounded cross-batch LRU, full decode) used by the Monte-Carlo engine.
 """
 
-from repro.decoders.batch import SyndromeDecoder
-from repro.decoders.graph import DecodingEdge, MatchingGraph
+from repro.decoders.batch import TIER_NAMES, SyndromeDecoder
+from repro.decoders.graph import DecodingEdge, DistanceTables, MatchingGraph
 from repro.decoders.mwpm import MWPMDecoder
-from repro.decoders.unionfind import UnionFindDecoder
+from repro.decoders.unionfind import LegacyUnionFindDecoder, UnionFindDecoder
 
 __all__ = [
     "DecodingEdge",
+    "DistanceTables",
+    "LegacyUnionFindDecoder",
     "MatchingGraph",
     "MWPMDecoder",
     "SyndromeDecoder",
+    "TIER_NAMES",
     "UnionFindDecoder",
 ]
 

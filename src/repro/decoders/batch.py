@@ -1,62 +1,214 @@
-"""Batched syndrome decoding shared by every decoder.
+"""Tiered batched syndrome decoding shared by every decoder.
 
 The Monte-Carlo engine hands decoders whole arrays of sampled syndromes at
-once.  Below threshold most shots repeat a small set of syndromes (often
-the all-quiet one), so :meth:`SyndromeDecoder.decode_batch` deduplicates
-rows first — bit-packed ``np.unique`` at C speed — and runs the expensive
-per-syndrome ``decode`` exactly once per *unique* syndrome.  This replaces
-the old per-shot ``dict`` cache, whose footprint grew without bound (one
-entry per distinct syndrome ever seen); here the working set is bounded by
-the unique syndromes of the batch at hand.
+once.  :meth:`SyndromeDecoder.decode_batch` deduplicates rows first —
+bit-packed ``np.unique`` at C speed — and then routes every *unique*
+syndrome through a tier ladder, cheapest first:
+
+``trivial``
+    All-zero syndromes decode to 0 without touching the decoder.
+``weight1``
+    Single-detection-event syndromes are served from a per-graph lookup
+    table (one prediction per detector).  The table is exact by
+    construction: by default entries are filled on demand by calling the
+    decoder itself once per *observed* detector, and MWPM supplies the
+    whole table up front as the nearest-boundary observable mask from
+    its Dijkstra pass (provably what matching returns for one event).
+``weight2``
+    Two-event syndromes go through an analytic pairwise rule when the
+    decoder provides one (MWPM: match the pair through the bulk iff the
+    bulk path is strictly cheaper than both boundary paths — exactly the
+    blossom outcome for two events).  Decoders without a provably-exact
+    rule return ``None`` and the pairs fall through to the full tier.
+``cached``
+    A bounded cross-batch LRU of full-decoder predictions, keyed by the
+    packed syndrome bytes, so repeated heavy syndromes across chunks are
+    never re-decoded.  The capacity bound keeps worker memory flat at any
+    total shot count (the seed's per-shot dict cache grew without bound).
+``full``
+    Everything else runs the decoder's ``decode`` once and lands in the
+    LRU.
+
+Per-call tier occupancy is exposed via ``last_batch_stats`` and
+accumulated in ``tier_counts``; the tiers always sum to the number of
+unique syndromes (the engine-scaling bench asserts this, guarding silent
+misrouting).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
-__all__ = ["SyndromeDecoder"]
+__all__ = ["SyndromeDecoder", "TIER_NAMES"]
+
+#: Tier keys, in dispatch order.  ``sum(stats[t] for t in TIER_NAMES)``
+#: always equals ``stats["unique"]``.
+TIER_NAMES = ("trivial", "weight1", "weight2", "cached", "full")
+
+#: Default bound on cached full-decoder predictions (entries, not bytes;
+#: a d=7 entry is ~60 bytes of key plus an int, so the default tops out
+#: around a few MB per worker).
+DEFAULT_LRU_CAPACITY = 65536
 
 
 class SyndromeDecoder:
-    """Base class giving any single-shot decoder a batched entry point.
+    """Base class giving any single-shot decoder a tiered batched entry.
 
     Subclasses implement :meth:`decode` (one syndrome, given as a list of
-    fired detector indices); ``decode_batch`` is derived.
+    fired detector indices) and call ``super().__init__(graph)``;
+    ``decode_batch`` — dedup, tier dispatch, LRU — is derived.  Optional
+    overrides: :meth:`_build_weight1_table` (exact single-event
+    predictions) and :meth:`_decode_weight2_batch` (vectorized exact
+    two-event predictions, or ``None`` to fall through).
     """
 
+    def __init__(self, graph, lru_capacity: int = DEFAULT_LRU_CAPACITY):
+        self.graph = graph
+        self.lru_capacity = lru_capacity
+        self._lru: OrderedDict[bytes, int] = OrderedDict()
+        self._weight1_table: np.ndarray | None = None
+        self._weight1_built: np.ndarray | None = None
+        #: cumulative tier occupancy across every decode_batch call
+        self.tier_counts: dict[str, int] = {t: 0 for t in TIER_NAMES}
+        self.tier_counts["unique"] = 0
+        self.tier_counts["shots"] = 0
+        #: tier occupancy of the most recent decode_batch call
+        self.last_batch_stats: dict[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Single-shot interface
+    # ------------------------------------------------------------------
     def decode(self, events: list[int]) -> int:
         """Predicted observable-flip mask for one shot's detection events."""
         raise NotImplementedError
 
+    def _checked_decode(self, events: list[int]) -> int:
+        prediction = self.decode(events)
+        if not -(2**63) <= prediction < 2**63:
+            raise ValueError(
+                f"decoder returned observable mask {prediction:#x}, which "
+                "does not fit the int64 prediction array (at most 63 "
+                "observables per basis are supported)"
+            )
+        return prediction
+
+    # ------------------------------------------------------------------
+    # Fast-path hooks
+    # ------------------------------------------------------------------
+    def _build_weight1_table(self) -> np.ndarray | None:
+        """Exact predictions for every single-event syndrome, or ``None``.
+
+        Return a full per-detector table when one is available
+        analytically (MWPM: the boundary-observable column of its
+        Dijkstra tables).  The default returns ``None`` and the
+        dispatcher fills entries on demand by calling the decoder itself,
+        once per *observed* detector — exact by construction for any
+        decoder, and never decoding detectors that have not fired (whose
+        syndromes may not even be decodable, e.g. a boundary-disconnected
+        component).
+        """
+        return None
+
+    def _weight1_predictions(self, cols: np.ndarray) -> np.ndarray:
+        """Predictions for single-event syndromes firing ``cols``."""
+        if self._weight1_table is None:
+            n = self.graph.num_detectors
+            table = self._build_weight1_table()
+            if table is not None:
+                self._weight1_table = np.asarray(table, dtype=np.int64)
+                self._weight1_built = np.ones(n, dtype=bool)
+            else:
+                self._weight1_table = np.zeros(n, dtype=np.int64)
+                self._weight1_built = np.zeros(n, dtype=bool)
+        built = self._weight1_built
+        for det in np.unique(cols[~built[cols]]):
+            self._weight1_table[det] = self._checked_decode([int(det)])
+            built[det] = True
+        return self._weight1_table[cols]
+
+    def _decode_weight2_batch(self, u: np.ndarray, v: np.ndarray) -> np.ndarray | None:
+        """Vectorized predictions for two-event syndromes ``{u[i], v[i]}``.
+
+        Return ``None`` (the default) when no analytic rule reproduces
+        this decoder exactly; those syndromes then use the full tier.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Batched interface
+    # ------------------------------------------------------------------
     def decode_batch(self, dets: np.ndarray) -> np.ndarray:
         """Decode a ``(shots, num_detectors)`` bool array of syndromes.
 
         Returns an ``(shots,)`` int64 array of predicted observable masks.
-        Each unique syndrome is decoded once; duplicates are served from
-        the deduplicated table, and the trivial (all-zero) syndrome never
-        reaches the decoder at all.
+        Each unique syndrome is decoded once per process lifetime (tier
+        tables and the LRU persist across calls); duplicates are served
+        from the deduplicated table.
         """
         dets = np.asarray(dets, dtype=bool)
         if dets.ndim != 2:
             raise ValueError(f"expected a 2-D (shots, detectors) array, got {dets.shape}")
         shots = dets.shape[0]
         if shots == 0:
+            self._record_stats(0, {t: 0 for t in TIER_NAMES})
             return np.zeros(0, dtype=np.int64)
         # Bit-pack rows so np.unique compares 8x fewer columns.
         packed = np.packbits(dets, axis=1) if dets.shape[1] else np.zeros((shots, 0), np.uint8)
-        _, index, inverse = np.unique(
+        unique_rows, index, inverse = np.unique(
             packed, axis=0, return_index=True, return_inverse=True
         )
+        unique_dets = dets[index]
+        weights = unique_dets.sum(axis=1, dtype=np.int64)
         predictions = np.zeros(len(index), dtype=np.int64)
-        for k, row_idx in enumerate(index):
-            events = np.flatnonzero(dets[row_idx])
-            if events.size:
-                prediction = self.decode(events.tolist())
-                if not -(2**63) <= prediction < 2**63:
-                    raise ValueError(
-                        f"decoder returned observable mask {prediction:#x}, which "
-                        "does not fit the int64 prediction array (at most 63 "
-                        "observables per basis are supported)"
-                    )
+        tiers = {t: 0 for t in TIER_NAMES}
+        tiers["trivial"] = int(np.count_nonzero(weights == 0))
+
+        w1 = np.flatnonzero(weights == 1)
+        if w1.size:
+            predictions[w1] = self._weight1_predictions(np.argmax(unique_dets[w1], axis=1))
+            tiers["weight1"] = int(w1.size)
+
+        heavy = np.flatnonzero(weights > 2)
+        w2 = np.flatnonzero(weights == 2)
+        if w2.size:
+            # np.nonzero is row-major, so each row contributes its two
+            # fired columns in ascending order.
+            pairs = np.nonzero(unique_dets[w2])[1].reshape(-1, 2)
+            analytic = self._decode_weight2_batch(pairs[:, 0], pairs[:, 1])
+            if analytic is None:
+                heavy = np.sort(np.concatenate([heavy, w2]))
+            else:
+                predictions[w2] = analytic
+                tiers["weight2"] = int(w2.size)
+
+        if heavy.size:
+            lru = self._lru
+            capacity = self.lru_capacity
+            for k in heavy:
+                key = unique_rows[k].tobytes()
+                cached = lru.get(key)
+                if cached is not None:
+                    lru.move_to_end(key)
+                    predictions[k] = cached
+                    tiers["cached"] += 1
+                    continue
+                prediction = self._checked_decode(np.flatnonzero(unique_dets[k]).tolist())
                 predictions[k] = prediction
-        return predictions[inverse.ravel()]
+                tiers["full"] += 1
+                if capacity > 0:
+                    lru[key] = prediction
+                    if len(lru) > capacity:
+                        lru.popitem(last=False)
+
+        self._record_stats(shots, tiers, unique=len(index))
+        return predictions[np.asarray(inverse).ravel()]
+
+    def _record_stats(self, shots: int, tiers: dict[str, int], unique: int = 0) -> None:
+        stats = dict(tiers)
+        stats["unique"] = unique
+        stats["shots"] = shots
+        self.last_batch_stats = stats
+        for key, value in stats.items():
+            self.tier_counts[key] += value

@@ -1,27 +1,37 @@
 """Minimum-weight perfect matching decoder (the paper's §II-E decoder).
 
 Distances between all detector pairs are precomputed with Dijkstra
-(scipy, C speed); per shot, the detection events form a small complete
-graph — each event also gets a private virtual boundary partner — which is
-matched with networkx's blossom implementation.
+(scipy, C speed) via the shared :class:`~repro.decoders.graph.DistanceTables`;
+per shot, the detection events form a small complete graph — each event
+also gets a private virtual boundary partner — which is matched with
+networkx's blossom implementation.
 
 Logical-flip prediction uses *observable potentials*: a function M over
 bulk nodes with ``M[u] ^ M[v] =`` the observable parity of any bulk path
 u→v.  Such potentials exist exactly when every cycle of the bulk graph
 crosses the logical membrane an even number of times, which holds for
-surface-code decoding graphs; the constructor verifies the property on
-every edge and refuses to continue if it fails, so the homological shortcut
-can never silently give wrong answers.  Boundary matches use exact
-predecessor-walked paths instead (the boundary node merges the two sides
-and would break the potential argument).
+surface-code decoding graphs; the table constructor verifies the property
+on every edge and refuses to continue if it fails, so the homological
+shortcut can never silently give wrong answers.  Boundary matches use
+exact predecessor-walked paths instead (the boundary node merges the two
+sides and would break the potential argument).
+
+The per-shot graph build is vectorized: bulk and through-boundary
+distances for all event pairs come from two table gathers, each edge
+family (event↔boundary stubs, bulk candidates, the zero-weight boundary
+clique) is inserted with a single ``add_weighted_edges_from`` call, and
+single-event shots skip matching entirely.  The weight-1/weight-2 tiers of
+``decode_batch`` are served analytically from the same tables — provably
+the blossom outcome for those weights (one event: the lone augmenting
+structure is its boundary stub; two events: blossom compares exactly
+``bulk`` vs ``through-boundary``, and the bulk candidate edge is only
+present when strictly cheaper, mirroring the graph construction here).
 """
 
 from __future__ import annotations
 
 import numpy as np
 import networkx as nx
-from scipy.sparse import csr_matrix
-from scipy.sparse.csgraph import dijkstra
 
 from repro.decoders.batch import SyndromeDecoder
 from repro.decoders.graph import MatchingGraph
@@ -33,111 +43,32 @@ class MWPMDecoder(SyndromeDecoder):
     """Exact minimum-weight perfect matching on the decoding graph."""
 
     def __init__(self, graph: MatchingGraph):
-        self.graph = graph
-        n = graph.num_detectors
-        self.n = n
-
-        rows, cols, weights = [], [], []
-        for edge in graph.edges:
-            if edge.v == graph.boundary:
-                continue
-            rows.extend((edge.u, edge.v))
-            cols.extend((edge.v, edge.u))
-            weights.extend((edge.weight, edge.weight))
-        bulk = csr_matrix((weights, (rows, cols)), shape=(n, n))
-        # Dense all-pairs bulk distances (n is at most a few thousand).
-        self._bulk_dist = dijkstra(bulk, directed=False)
-
-        # Verify homological consistency before anything else: potentials
-        # are the only shortcut this decoder takes, so fail loudly here.
-        self._potentials = self._build_potentials(bulk)
-
-        # Boundary distances + exact path observable parities.
-        full_rows, full_cols, full_weights = [], [], []
-        for edge in graph.edges:
-            full_rows.extend((edge.u, edge.v))
-            full_cols.extend((edge.v, edge.u))
-            full_weights.extend((edge.weight, edge.weight))
-        full = csr_matrix((full_weights, (full_rows, full_cols)), shape=(n + 1, n + 1))
-        dist_b, pred_b = dijkstra(
-            full, directed=False, indices=graph.boundary, return_predecessors=True
-        )
-        self._boundary_dist = dist_b
-        self._boundary_obs = self._walk_observables(pred_b)
+        super().__init__(graph)
+        self.n = graph.num_detectors
+        tables = graph.distance_tables()
+        self._bulk_dist = tables.bulk_dist
+        self._boundary_dist = tables.boundary_dist
+        self._boundary_obs = tables.boundary_obs
+        self._potentials = tables.potentials
 
     # ------------------------------------------------------------------
-    # Precomputation helpers
+    # Analytic low-weight fast path (see decoders/batch.py)
     # ------------------------------------------------------------------
-    def _edge_obs(self, u: int, v: int) -> int:
-        edge = self.graph.edge_between(u, v)
-        if edge is None:  # pragma: no cover - predecessor implies an edge
-            raise KeyError((u, v))
-        return edge.observables
+    def _build_weight1_table(self) -> np.ndarray:
+        # One event must match its boundary stub: the nearest-boundary
+        # observable mask from the Dijkstra pass is the exact answer.
+        return self._boundary_obs[: self.n].copy()
 
-    def _walk_observables(self, predecessors: np.ndarray) -> list[int]:
-        """Observable parity of each node's shortest path to the boundary."""
-        masks = [0] * (self.n + 1)
-        resolved = [False] * (self.n + 1)
-        resolved[self.graph.boundary] = True
-        for start in range(self.n):
-            chain = []
-            node = start
-            unreachable = False
-            while not resolved[node]:
-                chain.append(node)
-                nxt = int(predecessors[node])
-                if nxt < 0:  # no path to the boundary exists
-                    unreachable = True
-                    break
-                node = nxt
-            if unreachable:
-                for member in chain:
-                    masks[member] = 0
-                    resolved[member] = True
-                continue
-            acc = masks[node]
-            prev = node
-            for member in reversed(chain):
-                acc ^= self._edge_obs(member, prev)
-                masks[member] = acc
-                resolved[member] = True
-                prev = member
-        return masks
-
-    def _build_potentials(self, bulk: csr_matrix) -> list[int]:
-        """Per-node observable potentials over the bulk graph (BFS labels).
-
-        Verifies consistency on every bulk edge: obs(u,v) == M[u]^M[v].
-        """
-        potentials = [0] * self.n
-        seen = [False] * self.n
-        adjacency: dict[int, list[tuple[int, int]]] = {i: [] for i in range(self.n)}
-        for edge in self.graph.edges:
-            if edge.v == self.graph.boundary:
-                continue
-            adjacency[edge.u].append((edge.v, edge.observables))
-            adjacency[edge.v].append((edge.u, edge.observables))
-        for root in range(self.n):
-            if seen[root]:
-                continue
-            seen[root] = True
-            stack = [root]
-            while stack:
-                u = stack.pop()
-                for v, obs in adjacency[u]:
-                    if not seen[v]:
-                        seen[v] = True
-                        potentials[v] = potentials[u] ^ obs
-                        stack.append(v)
-        for edge in self.graph.edges:
-            if edge.v == self.graph.boundary:
-                continue
-            if potentials[edge.u] ^ potentials[edge.v] != edge.observables:
-                raise ValueError(
-                    "decoding graph is not homologically consistent; "
-                    "observable potentials do not exist"
-                )
-        return potentials
+    def _decode_weight2_batch(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        # Two events: blossom picks the cheaper of {u−v through the bulk}
+        # and {u−boundary, v−boundary}; the bulk candidate participates
+        # only when strictly cheaper (mirroring the decode() construction,
+        # so ties break identically).
+        bulk = self._bulk_dist[u, v]
+        through = self._boundary_dist[u] + self._boundary_dist[v]
+        bulk_pred = self._potentials[u] ^ self._potentials[v]
+        boundary_pred = self._boundary_obs[u] ^ self._boundary_obs[v]
+        return np.where(bulk < through, bulk_pred, boundary_pred)
 
     # ------------------------------------------------------------------
     # Decoding
@@ -147,19 +78,28 @@ class MWPMDecoder(SyndromeDecoder):
         if not events:
             return 0
         m = len(events)
+        if m == 1:
+            return int(self._boundary_obs[events[0]])
+        evs = np.asarray(events, dtype=np.intp)
+        boundary = self._boundary_dist[evs]
+        bulk = self._bulk_dist[np.ix_(evs, evs)]
+        through = boundary[:, None] + boundary[None, :]
+        iu, ju = np.triu_indices(m, 1)
+        use_bulk = bulk[iu, ju] < through[iu, ju]
+
         matching_graph = nx.Graph()
-        for i in range(m):
-            matching_graph.add_edge(
-                ("e", i), ("b", i), weight=-float(self._boundary_dist[events[i]])
-            )
-            for j in range(i + 1, m):
-                d = float(self._bulk_dist[events[i], events[j]])
-                through = float(
-                    self._boundary_dist[events[i]] + self._boundary_dist[events[j]]
-                )
-                if d < through:
-                    matching_graph.add_edge(("e", i), ("e", j), weight=-d)
-                matching_graph.add_edge(("b", i), ("b", j), weight=0.0)
+        matching_graph.add_weighted_edges_from(
+            (("e", i), ("b", i), -float(boundary[i])) for i in range(m)
+        )
+        matching_graph.add_weighted_edges_from(
+            (("e", int(i)), ("e", int(j)), -float(bulk[i, j]))
+            for i, j in zip(iu[use_bulk], ju[use_bulk])
+        )
+        # The zero-weight boundary clique lets unmatched stubs pair up; one
+        # bulk call instead of the old per-pair Python loop.
+        matching_graph.add_weighted_edges_from(
+            (("b", int(i)), ("b", int(j)), 0.0) for i, j in zip(iu, ju)
+        )
         matching = nx.max_weight_matching(matching_graph, maxcardinality=True)
 
         prediction = 0
@@ -168,8 +108,8 @@ class MWPMDecoder(SyndromeDecoder):
                 continue
             if a[0] == "b" or b[0] == "b":
                 event = a if a[0] == "e" else b
-                prediction ^= self._boundary_obs[events[event[1]]]
+                prediction ^= int(self._boundary_obs[events[event[1]]])
             else:
                 u, v = events[a[1]], events[b[1]]
-                prediction ^= self._potentials[u] ^ self._potentials[v]
+                prediction ^= int(self._potentials[u] ^ self._potentials[v])
         return prediction

@@ -7,20 +7,366 @@ boundary, after which the grown support is *peeled*: a spanning forest is
 built over fully-grown edges and leaf edges are included in the correction
 exactly when they resolve an unmatched event.  Near-MWPM accuracy at a
 fraction of the cost — the property tests compare it against MWPM directly.
+
+This is the flat-array implementation: the graph is lowered once in
+``__init__`` into preallocated int32/int64 numpy arrays plus CSR-style
+adjacency (mirrored into plain lists for the interpreted hot loop), and
+per-decode state — parent pointers, cluster parity/boundary flags, edge
+growth — lives in preallocated arrays reset by a generation counter
+instead of reallocation.  Growth is *fast-forwarded*: between merges the
+active frontier is static, so instead of stepping one half-edge unit per
+round the decoder jumps straight to the next completion
+(``k = min over frontier edges of ceil(remaining / rate)`` unit rounds at
+once).  The growth trajectory is identical to the unit-step algorithm —
+each frontier edge of an active cluster grows one unit per unit round,
+shared edges grow from both sides — because nothing about the frontier
+can change between completions; the regression tests compare traces
+against :class:`LegacyUnionFindDecoder` round by round.
+
+Two deliberate behaviour pins versus the legacy dict implementation:
+
+- A duplicate edge id in a cluster's frontier (possible after merge
+  concatenation) grows that edge **once** per round from that cluster,
+  never twice — enforced here by a per-round seen-set.  (In the legacy
+  code duplicates were harmless only because a duplicated edge is always
+  internal by the time it is revisited; the seen-set makes the invariant
+  structural instead of incidental.)
+- Peeling is canonical: support edges are processed in sorted-id order
+  and forest roots in sorted-node order (boundary first), so the
+  prediction depends only on the grown support, not on growth bookkeeping
+  order.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.decoders.batch import SyndromeDecoder
 from repro.decoders.graph import MatchingGraph
 
-__all__ = ["UnionFindDecoder"]
+__all__ = ["LegacyUnionFindDecoder", "UnionFindDecoder"]
 
 _MAX_GROWTH_ROUNDS = 1_000_000
 
 
+class UnionFindDecoder(SyndromeDecoder):
+    """Weighted union-find decoding on a :class:`MatchingGraph`."""
+
+    def __init__(self, graph: MatchingGraph, resolution: int = 16, max_units: int = 4096):
+        """``resolution`` growth units per minimum edge weight.
+
+        Too-coarse discretization collapses distinct weights onto the same
+        integer length and measurably degrades accuracy; 16 units keeps the
+        weight ratios of realistic circuit-level graphs (~1–4×) faithful.
+        """
+        super().__init__(graph)
+        self.boundary_node = graph.boundary
+        n = graph.num_detectors
+        num_edges = graph.num_edges
+
+        weights = [e.weight for e in graph.edges if e.weight > 0]
+        unit = min(weights) / float(resolution) if weights else 1.0
+        lengths = [
+            max(1, min(max_units, round(e.weight / unit))) for e in graph.edges
+        ]
+
+        # Flat graph arrays, built once (canonical storage)...
+        self.edge_u = np.fromiter((e.u for e in graph.edges), np.int32, count=num_edges)
+        self.edge_v = np.fromiter((e.v for e in graph.edges), np.int32, count=num_edges)
+        self.edge_obs = np.fromiter(
+            (e.observables for e in graph.edges), np.int64, count=num_edges
+        )
+        self.lengths = np.asarray(lengths, dtype=np.int32)
+        # ... CSR adjacency: node -> incident edge ids.
+        counts = np.zeros(n + 2, dtype=np.int32)
+        for e in graph.edges:
+            counts[e.u + 1] += 1
+            counts[e.v + 1] += 1
+        self.adj_indptr = np.cumsum(counts, dtype=np.int32)
+        self.adj_edges = np.zeros(self.adj_indptr[-1], dtype=np.int32)
+        cursor = self.adj_indptr[:-1].copy()
+        for idx, e in enumerate(graph.edges):
+            self.adj_edges[cursor[e.u]] = idx
+            cursor[e.u] += 1
+            self.adj_edges[cursor[e.v]] = idx
+            cursor[e.v] += 1
+
+        # Parallel "other endpoint" view of the CSR adjacency: entry j of
+        # ``adj_other`` is the far endpoint of edge ``adj_edges[j]`` seen
+        # from the node owning slot j.
+        self.adj_other = np.zeros_like(self.adj_edges)
+        for i in range(n + 1):
+            lo, hi = self.adj_indptr[i], self.adj_indptr[i + 1]
+            for j in range(lo, hi):
+                e = self.adj_edges[j]
+                self.adj_other[j] = self.edge_v[e] if self.edge_u[e] == i else self.edge_u[e]
+
+        # Plain-list mirrors: the per-decode loop is interpreted Python,
+        # where list indexing beats numpy scalar indexing ~5x.  Adjacency
+        # is mirrored as (edge, other-endpoint) pairs: a cluster's edge
+        # list only ever holds edges incident to its own nodes, so the
+        # near endpoint's root is the cluster root by construction and
+        # only the far endpoint needs a find.
+        self._eu = self.edge_u.tolist()
+        self._ev = self.edge_v.tolist()
+        self._eobs = self.edge_obs.tolist()
+        self._len = self.lengths.tolist()
+        self._adj = [
+            list(
+                zip(
+                    self.adj_edges[self.adj_indptr[i] : self.adj_indptr[i + 1]].tolist(),
+                    self.adj_other[self.adj_indptr[i] : self.adj_indptr[i + 1]].tolist(),
+                )
+            )
+            for i in range(n + 1)
+        ]
+
+        # Preallocated decode state, reset by generation counter: touching
+        # a node/edge stamps it with the current decode generation, so no
+        # arrays are reallocated or cleared between decodes.
+        self._parent = list(range(n + 1))
+        self._parity = [0] * (n + 1)
+        self._bnd = [False] * (n + 1)
+        self._size = [1] * (n + 1)
+        self._node_gen = [0] * (n + 1)
+        self._root_active = [0] * (n + 1)  # stamped per growth round
+        self._growth = [0] * num_edges
+        self._edge_gen = [0] * num_edges
+        self._edge_live = [0] * num_edges
+        self._gen = 0
+        self._round_stamp = 0
+
+    # ------------------------------------------------------------------
+    def decode(self, events: list[int]) -> int:
+        """Predicted observable-flip mask for the given detection events."""
+        if not events:
+            return 0
+        support = self._grow(events)
+        return self._peel(events, support)
+
+    # ------------------------------------------------------------------
+    def _grow(self, events: list[int], trace: list | None = None) -> list[int]:
+        """Grow clusters until every one is even or touches the boundary.
+
+        Returns the fully-grown edge ids (the support).  ``trace``, when
+        given, receives one ``(unit_round, {edge: growth})`` entry per
+        completion round — in unit-round numbering, so traces are directly
+        comparable with a unit-step reference implementation.
+        """
+        gen = self._gen = self._gen + 1
+        parent = self._parent
+        parity = self._parity
+        bnd = self._bnd
+        size = self._size
+        node_gen = self._node_gen
+        root_active = self._root_active
+        growth = self._growth
+        edge_gen = self._edge_gen
+        edge_live = self._edge_live
+        eu, ev, lengths, adj = self._eu, self._ev, self._len, self._adj
+        bnode = self.boundary_node
+
+        touched: list[int] = []
+        cluster_edges: dict[int, list[int]] = {}  # root -> incident edge ids
+        for x in events:
+            if node_gen[x] == gen:
+                continue
+            node_gen[x] = gen
+            parent[x] = x
+            parity[x] = 1
+            bnd[x] = False
+            size[x] = 1
+            touched.append(x)
+            cluster_edges[x] = list(adj[x])
+
+        support: list[int] = []
+        unit_round = 0
+        while True:
+            # Active roots: odd parity, no boundary contact.  The scan
+            # doubles as path compression, keeping finds shallow; active
+            # roots are marked with the per-round stamp so the edge scan
+            # reads activity as one list lookup.
+            rstamp = self._round_stamp = self._round_stamp + 1
+            active: list[int] = []
+            for x in touched:
+                r = x
+                while parent[r] != r:
+                    r = parent[r]
+                while parent[x] != r:
+                    parent[x], x = r, parent[x]
+                if parity[r] and not bnd[r] and root_active[r] != rstamp:
+                    root_active[r] = rstamp
+                    active.append(r)
+            if not active:
+                return support
+
+            # Pass 1: scan only the active clusters' edge lists — frozen
+            # clusters cost nothing until something grows into them.  Drop
+            # completed and internal edges; rate the rest directly from
+            # far-endpoint root activity (one unit per incident active
+            # cluster per unit round, so an edge between two active
+            # clusters grows from both sides; the near side is the active
+            # cluster being scanned, hence rate >= 1), deduplicating
+            # shared edges with the per-round stamp so no edge is rated
+            # twice.  Alongside, find the fast-forward distance ``k``: the
+            # number of unit rounds until the next completion.  Nothing
+            # about cluster membership or activity can change between
+            # completions, so ``k`` unit rounds collapse into one.
+            rated_edges: list[int] = []
+            rated_rates: list[int] = []
+            k = _MAX_GROWTH_ROUNDS
+            for r in active:
+                edges = cluster_edges[r]
+                kept: list[tuple[int, int]] = []
+                for pair in edges:
+                    e = pair[0]
+                    if edge_live[e] == rstamp:
+                        kept.append(pair)  # shared edge, already rated this round
+                        continue
+                    edge_live[e] = rstamp
+                    if edge_gen[e] == gen:
+                        g = growth[e]
+                        if g >= lengths[e]:
+                            continue  # completed in an earlier round
+                    else:
+                        g = 0
+                    other = pair[1]
+                    if node_gen[other] == gen:
+                        ro = other
+                        while parent[ro] != ro:
+                            ro = parent[ro]
+                        if ro == r:
+                            continue  # became internal after an earlier merge
+                        rate = 2 if root_active[ro] == rstamp else 1
+                    else:
+                        rate = 1
+                    kept.append(pair)
+                    rated_edges.append(e)
+                    rated_rates.append(rate)
+                    need = -(-(lengths[e] - g) // rate)
+                    if need < k:
+                        k = need
+                cluster_edges[r] = kept
+            if not rated_edges:  # active cluster with no frontier left
+                raise RuntimeError("union-find growth failed to terminate")
+            unit_round += k
+            if unit_round > _MAX_GROWTH_ROUNDS:  # pragma: no cover - safety valve
+                raise RuntimeError("union-find growth failed to terminate")
+
+            completed: list[int] = []
+            for e, rate in zip(rated_edges, rated_rates):
+                if edge_gen[e] == gen:
+                    growth[e] += rate * k
+                else:
+                    edge_gen[e] = gen
+                    growth[e] = rate * k
+                if growth[e] >= lengths[e]:
+                    completed.append(e)
+            if trace is not None:
+                trace.append((unit_round, {e: growth[e] for e in rated_edges}))
+
+            # Pass 2: completions absorb endpoints and merge clusters
+            # (union by size; the prediction is independent of root choice
+            # because peeling is canonical in the support set).
+            completed.sort()
+            for e in completed:
+                support.append(e)
+                for node in (eu[e], ev[e]):
+                    if node_gen[node] != gen:
+                        node_gen[node] = gen
+                        parent[node] = node
+                        parity[node] = 0
+                        bnd[node] = node == bnode
+                        size[node] = 1
+                        touched.append(node)
+                        cluster_edges[node] = [
+                            pair
+                            for pair in adj[node]
+                            if not (
+                                edge_gen[pair[0]] == gen
+                                and growth[pair[0]] >= lengths[pair[0]]
+                            )
+                        ]
+                ru = eu[e]
+                while parent[ru] != ru:
+                    ru = parent[ru]
+                rv = ev[e]
+                while parent[rv] != rv:
+                    rv = parent[rv]
+                if ru == rv:
+                    continue
+                if size[ru] < size[rv]:
+                    ru, rv = rv, ru
+                parent[rv] = ru
+                size[ru] += size[rv]
+                parity[ru] ^= parity[rv]
+                bnd[ru] = bnd[ru] or bnd[rv]
+                big, small = cluster_edges[ru], cluster_edges[rv]
+                if len(big) >= len(small):
+                    big.extend(small)
+                else:
+                    small.extend(big)
+                    cluster_edges[ru] = small
+                cluster_edges[rv] = []
+
+    # ------------------------------------------------------------------
+    def _peel(self, events: list[int], support: list[int]) -> int:
+        """Canonical peeling pass over the grown support.
+
+        Deterministic in the support *set* alone: edges are laid down in
+        sorted-id order and forest roots visited boundary-first then in
+        sorted-node order, so the prediction cannot depend on the order in
+        which growth happened to complete edges.
+        """
+        eu, ev, eobs = self._eu, self._ev, self._eobs
+        bnode = self.boundary_node
+        support_adj: dict[int, list[int]] = {}
+        for edge_id in sorted(support):
+            support_adj.setdefault(eu[edge_id], []).append(edge_id)
+            support_adj.setdefault(ev[edge_id], []).append(edge_id)
+
+        flagged = set(events)
+        visited: set[int] = set()
+        prediction = 0
+
+        # Roots: prefer the boundary node so leftover parity drains into it.
+        roots = [bnode] if bnode in support_adj else []
+        roots += sorted(n for n in support_adj if n != bnode)
+        for root in roots:
+            if root in visited:
+                continue
+            visited.add(root)
+            order: list[tuple[int, int, int]] = []  # (node, parent, edge_id)
+            stack = [root]
+            while stack:
+                u = stack.pop()
+                for edge_id in support_adj.get(u, ()):
+                    v = ev[edge_id] if eu[edge_id] == u else eu[edge_id]
+                    if v in visited:
+                        continue
+                    visited.add(v)
+                    order.append((v, u, edge_id))
+                    stack.append(v)
+            # Peel leaves first (reverse discovery order).
+            for node, parent, edge_id in reversed(order):
+                if node in flagged:
+                    flagged.discard(node)
+                    if parent in flagged:
+                        flagged.discard(parent)
+                    elif parent != bnode:
+                        flagged.add(parent)
+                    prediction ^= eobs[edge_id]
+        if flagged:  # pragma: no cover - parity invariant violated
+            raise RuntimeError(f"peeling left unmatched events: {sorted(flagged)}")
+        return prediction
+
+
 class _DSU:
-    """Union-find over lazily-touched nodes with cluster metadata."""
+    """Union-find over lazily-touched nodes with cluster metadata.
+
+    Part of :class:`LegacyUnionFindDecoder`, kept as the behavioural
+    oracle for the flat-array rewrite.
+    """
 
     def __init__(self) -> None:
         self.parent: dict[int, int] = {}
@@ -56,17 +402,17 @@ class _DSU:
         return ra
 
 
-class UnionFindDecoder(SyndromeDecoder):
-    """Weighted union-find decoding on a :class:`MatchingGraph`."""
+class LegacyUnionFindDecoder(SyndromeDecoder):
+    """The pre-flat-array dict-based union-find implementation.
+
+    Kept verbatim as a correctness oracle (the regression tests compare
+    growth traces and predictions against it) and as the decode-throughput
+    baseline in ``benchmarks/bench_engine_scaling.py``.  Not registered in
+    ``repro.decoders.DECODERS``; use :class:`UnionFindDecoder`.
+    """
 
     def __init__(self, graph: MatchingGraph, resolution: int = 16, max_units: int = 4096):
-        """``resolution`` growth units per minimum edge weight.
-
-        Too-coarse discretization collapses distinct weights onto the same
-        integer length and measurably degrades accuracy; 16 units keeps the
-        weight ratios of realistic circuit-level graphs (~1–4×) faithful.
-        """
-        self.graph = graph
+        super().__init__(graph)
         self.boundary_node = graph.boundary
         weights = [e.weight for e in graph.edges if e.weight > 0]
         if weights:
@@ -83,6 +429,12 @@ class UnionFindDecoder(SyndromeDecoder):
         """Predicted observable-flip mask for the given detection events."""
         if not events:
             return 0
+        dsu, growth = self._grow(events)
+        return self._peel(events, dsu, growth)
+
+    def _grow(
+        self, events: list[int], trace: list | None = None
+    ) -> tuple[_DSU, dict[int, int]]:
         dsu = _DSU()
         growth: dict[int, int] = {}
         for event in events:
@@ -101,6 +453,7 @@ class UnionFindDecoder(SyndromeDecoder):
             if rounds > _MAX_GROWTH_ROUNDS:  # pragma: no cover - safety valve
                 raise RuntimeError("union-find growth failed to terminate")
             merges: list[int] = []
+            grown_this_round: dict[int, int] = {}
             for root in active:
                 kept: list[int] = []
                 for edge_id in dsu.frontier[root]:
@@ -110,11 +463,14 @@ class UnionFindDecoder(SyndromeDecoder):
                     if u_in and v_in:
                         continue  # became internal after an earlier merge
                     growth[edge_id] = growth.get(edge_id, 0) + 1
+                    grown_this_round[edge_id] = growth[edge_id]
                     if growth[edge_id] >= self.lengths[edge_id]:
                         merges.append(edge_id)
                     else:
                         kept.append(edge_id)
                 dsu.frontier[root] = kept
+            if trace is not None:
+                trace.append((rounds, grown_this_round))
             for edge_id in merges:
                 edge = self.graph.edges[edge_id]
                 for node in (edge.u, edge.v):
@@ -130,8 +486,7 @@ class UnionFindDecoder(SyndromeDecoder):
                             ],
                         )
                 dsu.union(edge.u, edge.v)
-
-        return self._peel(events, dsu, growth)
+        return dsu, growth
 
     # ------------------------------------------------------------------
     def _peel(self, events: list[int], dsu: _DSU, growth: dict[int, int]) -> int:

@@ -116,8 +116,12 @@ def _run_chunk(
     basis_ids: Sequence[int],
     obs_ids: Sequence[int],
     blocks: list[tuple[int, np.random.SeedSequence]],
-) -> int:
-    """Sample, decode and score one chunk; returns its logical-error count."""
+) -> tuple[int, dict[str, int]]:
+    """Sample, decode and score one chunk.
+
+    Returns the chunk's logical-error count and the decode-tier occupancy
+    of its ``decode_batch`` call (see ``repro.decoders.batch.TIER_NAMES``).
+    """
     # Preallocate the chunk's syndrome array and fill block-by-block, so
     # peak detector memory really is the documented one-chunk bound (a
     # concatenate of per-block slices would transiently double it).
@@ -131,7 +135,8 @@ def _run_chunk(
         actual[at : at + data.shots] = _pack_observables(data.observables, obs_ids)
         at += data.shots
     predictions = decoder.decode_batch(dets)
-    return int(np.count_nonzero(predictions != actual))
+    stats = decoder.last_batch_stats or {}
+    return int(np.count_nonzero(predictions != actual)), stats
 
 
 # Per-worker state installed by the pool initializer, so the sampler
@@ -143,8 +148,13 @@ def _init_worker(sampler, decoder, basis_ids, obs_ids) -> None:
     _WORKER["args"] = (sampler, decoder, basis_ids, obs_ids)
 
 
-def _run_chunk_in_worker(blocks) -> int:
+def _run_chunk_in_worker(blocks) -> tuple[int, dict[str, int]]:
     return _run_chunk(*_WORKER["args"], blocks)
+
+
+def _accumulate_stats(into: dict, stats: dict[str, int]) -> None:
+    for key, value in stats.items():
+        into[key] = into.get(key, 0) + value
 
 
 def count_logical_errors(
@@ -157,6 +167,7 @@ def count_logical_errors(
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     backend: str = "packed",
+    decode_stats: dict | None = None,
 ) -> int:
     """Count shots whose decoded prediction disagrees with the truth.
 
@@ -173,6 +184,16 @@ def count_logical_errors(
         deterministic and worker/chunk-invariant, but they define
         different canonical random streams, so counts agree across
         backends statistically rather than bitwise.
+    decode_stats:
+        Optional dict that accumulates per-chunk decode-tier occupancy
+        (``trivial``/``weight1``/``weight2``/``cached``/``full`` plus
+        ``unique`` and ``shots``) summed over every chunk and worker.
+        Per ``decode_batch``'s contract the tier counts of each chunk sum
+        to its unique-syndrome count; the engine-scaling bench asserts
+        the aggregate identity.  Note that ``unique``/``cached`` are
+        per-chunk notions: a syndrome occurring in two chunks counts as
+        unique in both, and as ``cached`` in the second only via the
+        decoder's cross-batch LRU (per worker process).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -190,10 +211,14 @@ def count_logical_errors(
     per_chunk = max(1, chunk_size // SHOT_BLOCK)
     chunks = [blocks[i : i + per_chunk] for i in range(0, len(blocks), per_chunk)]
 
+    errors = 0
     if workers == 1 or len(chunks) == 1:
-        return sum(
-            _run_chunk(sampler, decoder, basis_ids, obs_ids, chunk) for chunk in chunks
-        )
+        for chunk in chunks:
+            chunk_errors, stats = _run_chunk(sampler, decoder, basis_ids, obs_ids, chunk)
+            errors += chunk_errors
+            if decode_stats is not None:
+                _accumulate_stats(decode_stats, stats)
+        return errors
 
     ctx = multiprocessing.get_context()
     with ctx.Pool(
@@ -202,4 +227,8 @@ def count_logical_errors(
         initargs=(sampler, decoder, basis_ids, obs_ids),
     ) as pool:
         # Summation is order-independent, so drain shards as they finish.
-        return sum(pool.imap_unordered(_run_chunk_in_worker, chunks))
+        for chunk_errors, stats in pool.imap_unordered(_run_chunk_in_worker, chunks):
+            errors += chunk_errors
+            if decode_stats is not None:
+                _accumulate_stats(decode_stats, stats)
+    return errors

@@ -64,6 +64,7 @@ def run_memory_experiment(
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     backend: str = "packed",
+    decode_stats: dict | None = None,
 ) -> LogicalErrorResult:
     """Estimate the logical error rate of a memory circuit.
 
@@ -85,6 +86,9 @@ def run_memory_experiment(
         Sampling backend: ``"packed"`` (compiled bit-plane simulator,
         default) or ``"reference"`` (bool-array per-instruction
         simulator).  Each backend has its own canonical random stream.
+    decode_stats:
+        Optional dict accumulating decode-tier occupancy over all chunks
+        (see :func:`repro.sim.engine.count_logical_errors`).
     """
     dem = DetectorErrorModel(memory.circuit)
     graph = MatchingGraph.from_dem(dem, memory.basis)
@@ -98,6 +102,7 @@ def run_memory_experiment(
         workers=workers,
         chunk_size=chunk_size,
         backend=backend,
+        decode_stats=decode_stats,
     )
     return LogicalErrorResult(
         scheme=memory.scheme,

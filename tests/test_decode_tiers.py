@@ -1,0 +1,184 @@
+"""Property tests for the tiered batched decode dispatcher.
+
+The contract under test: for ANY batch of syndromes, ``decode_batch`` —
+dedup, weight-1 table, weight-2 analytic rule, LRU, full decode — returns
+element-wise exactly what a plain loop over ``decode`` would, for every
+decoder.  Hypothesis drives random batches through both paths, including
+the degenerate shapes the tiers special-case: all-zero rows, batches of
+only weight-1/weight-2 syndromes, and heavy (>2 event) syndromes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, example, given, settings, strategies as st
+
+from repro.decoders import (
+    TIER_NAMES,
+    MatchingGraph,
+    MWPMDecoder,
+    UnionFindDecoder,
+)
+from repro.dem import DetectorErrorModel
+from repro.noise import BASELINE_HARDWARE, ErrorModel
+from repro.surface_code import baseline_memory_circuit
+
+
+@pytest.fixture(scope="module")
+def decoding_setup():
+    model = ErrorModel(hardware=BASELINE_HARDWARE, p=3e-3)
+    memory = baseline_memory_circuit(3, model)
+    dem = DetectorErrorModel(memory.circuit)
+    graph = MatchingGraph.from_dem(dem, "Z")
+    return graph, MWPMDecoder(graph), UnionFindDecoder(graph)
+
+
+def _batch_from_events(event_sets, num_detectors):
+    dets = np.zeros((len(event_sets), num_detectors), dtype=bool)
+    for row, events in enumerate(event_sets):
+        for e in events:
+            dets[row, e] = True
+    return dets
+
+
+# Random batches: rows of 0..6 events over the d=3 Z detectors.
+_batches = st.lists(
+    st.sets(st.integers(0, 11), min_size=0, max_size=6),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestTieredEqualsLooped:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(event_sets=_batches)
+    @example(event_sets=[set()])  # all-trivial batch
+    @example(event_sets=[set(), {3}, {7}, {11}])  # weight-1 only
+    @example(event_sets=[{0, 1}, {2, 9}, {4, 5}])  # weight-2 only
+    @example(event_sets=[{0, 1, 2, 3, 4, 5}])  # heavy only
+    @example(event_sets=[set(), {5}, {1, 2}, {0, 3, 7, 9}, {1, 2}])  # mixed + dup
+    @pytest.mark.parametrize("decoder_name", ["mwpm", "unionfind"])
+    def test_batch_matches_loop(self, decoding_setup, decoder_name, event_sets):
+        graph, mwpm, uf = decoding_setup
+        decoder = mwpm if decoder_name == "mwpm" else uf
+        dets = _batch_from_events(event_sets, graph.num_detectors)
+        batched = decoder.decode_batch(dets)
+        looped = np.array(
+            [decoder.decode(sorted(events)) for events in event_sets], dtype=np.int64
+        )
+        np.testing.assert_array_equal(batched, looped)
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(event_sets=_batches, seed=st.integers(0, 2**32 - 1))
+    def test_row_order_invariance(self, decoding_setup, event_sets, seed):
+        graph, _, uf = decoding_setup
+        dets = _batch_from_events(event_sets, graph.num_detectors)
+        perm = np.random.default_rng(seed).permutation(len(event_sets))
+        np.testing.assert_array_equal(
+            uf.decode_batch(dets)[perm], uf.decode_batch(dets[perm])
+        )
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(event_sets=_batches)
+    def test_tier_accounting_sums_to_unique(self, decoding_setup, event_sets):
+        graph, _, uf = decoding_setup
+        dets = _batch_from_events(event_sets, graph.num_detectors)
+        uf.decode_batch(dets)
+        stats = uf.last_batch_stats
+        assert sum(stats[t] for t in TIER_NAMES) == stats["unique"]
+        assert stats["unique"] == len({frozenset(s) for s in event_sets})
+        assert stats["shots"] == len(event_sets)
+
+
+class TestAnalyticTiersAreExact:
+    """The table tiers must be provably identical to the full decoder."""
+
+    def test_mwpm_weight1_table_is_decode(self, decoding_setup):
+        graph, mwpm, _ = decoding_setup
+        table = mwpm._build_weight1_table()
+        for det in range(graph.num_detectors):
+            assert int(table[det]) == mwpm.decode([det])
+
+    def test_mwpm_weight2_rule_is_decode(self, decoding_setup):
+        graph, mwpm, _ = decoding_setup
+        n = graph.num_detectors
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        u = np.array([p[0] for p in pairs])
+        v = np.array([p[1] for p in pairs])
+        analytic = mwpm._decode_weight2_batch(u, v)
+        for (a, b), prediction in zip(pairs, analytic):
+            assert int(prediction) == mwpm.decode([a, b]), (a, b)
+
+    def test_unionfind_weight1_default_table_is_decode(self, decoding_setup):
+        graph, _, uf = decoding_setup
+        table = uf._weight1_predictions(np.arange(graph.num_detectors))
+        for det in range(graph.num_detectors):
+            assert int(table[det]) == uf.decode([det])
+
+    def test_weight1_table_only_builds_observed_detectors(self):
+        # A detector whose solo syndrome is undecodable (no path anywhere)
+        # must not break batches that never fire it.
+        graph = MatchingGraph(2, "Z")
+        graph.add_edge(0, graph.boundary, 0.01, 1)
+        uf = UnionFindDecoder(graph)
+        with pytest.raises(RuntimeError):
+            uf.decode([1])  # isolated detector: growth cannot terminate
+        dets = np.array([[True, False], [False, False]])
+        np.testing.assert_array_equal(uf.decode_batch(dets), [1, 0])
+
+    def test_unionfind_has_no_weight2_shortcut(self, decoding_setup):
+        # Union-find peel ties have no closed form; the base class must
+        # route its weight-2 syndromes through the full tier.
+        graph, _, uf = decoding_setup
+        assert uf._decode_weight2_batch(np.array([0]), np.array([1])) is None
+
+
+class TestLRU:
+    def _fresh_uf(self):
+        model = ErrorModel(hardware=BASELINE_HARDWARE, p=3e-3)
+        memory = baseline_memory_circuit(3, model)
+        dem = DetectorErrorModel(memory.circuit)
+        return UnionFindDecoder(MatchingGraph.from_dem(dem, "Z"))
+
+    def test_repeat_batches_hit_cache_with_identical_results(self):
+        uf = self._fresh_uf()
+        rng = np.random.default_rng(0)
+        dets = rng.random((64, uf.graph.num_detectors)) < 0.25
+        first = uf.decode_batch(dets)
+        assert uf.last_batch_stats["full"] > 0
+        second = uf.decode_batch(dets)
+        assert uf.last_batch_stats["full"] == 0
+        assert uf.last_batch_stats["cached"] == (
+            first.size and len({row.tobytes() for row in dets if row.sum() > 1})
+        )
+        np.testing.assert_array_equal(first, second)
+
+    def test_capacity_bound_holds_and_evicts_lru_order(self):
+        uf = self._fresh_uf()
+        uf.lru_capacity = 8
+        rng = np.random.default_rng(1)
+        for _ in range(12):
+            dets = rng.random((32, uf.graph.num_detectors)) < 0.3
+            uf.decode_batch(dets)
+            assert len(uf._lru) <= 8
+
+    def test_eviction_never_changes_results(self):
+        bounded, unbounded = self._fresh_uf(), self._fresh_uf()
+        bounded.lru_capacity = 4
+        rng = np.random.default_rng(2)
+        batches = [rng.random((24, bounded.graph.num_detectors)) < 0.3 for _ in range(6)]
+        for dets in batches:
+            np.testing.assert_array_equal(
+                bounded.decode_batch(dets), unbounded.decode_batch(dets)
+            )

@@ -3,9 +3,16 @@
 import itertools
 import random
 
+import numpy as np
 import pytest
 
-from repro.decoders import MatchingGraph, MWPMDecoder, UnionFindDecoder, make_decoder
+from repro.decoders import (
+    LegacyUnionFindDecoder,
+    MatchingGraph,
+    MWPMDecoder,
+    UnionFindDecoder,
+    make_decoder,
+)
 from repro.decoders.graph import DecodingEdge, probability_to_weight
 from repro.dem import DetectorErrorModel
 from repro.noise import BASELINE_HARDWARE, MEMORY_HARDWARE, ErrorModel
@@ -180,6 +187,31 @@ class TestDecoderAgreement:
                     fault,
                 )
 
+    def test_flat_array_matches_legacy_on_sampled_syndromes(self):
+        """The flat-array rewrite must reproduce the dict implementation.
+
+        Exact prediction equality on every syndrome sampled at d=3/d=5
+        near threshold (peel-order ties, the one place the rewrite is
+        allowed to differ, are vanishingly rare below d=7; this seed has
+        none).
+        """
+        from repro.sim.engine import make_sampler
+
+        for d in (3, 5):
+            em = ErrorModel(hardware=BASELINE_HARDWARE, p=5e-3)
+            memory = baseline_memory_circuit(d, em)
+            dem = DetectorErrorModel(memory.circuit)
+            g = MatchingGraph.from_dem(dem, "Z")
+            flat, legacy = UnionFindDecoder(g), LegacyUnionFindDecoder(g)
+            sampler = make_sampler(memory.circuit, "packed")
+            dets = sampler.sample(512, np.random.SeedSequence(7)).detectors[
+                :, dem.basis_detectors("Z")
+            ]
+            for row in dets:
+                events = np.flatnonzero(row).tolist()
+                if events:
+                    assert flat.decode(events) == legacy.decode(events)
+
     def test_pairwise_fault_agreement_rate(self):
         em = ErrorModel(hardware=BASELINE_HARDWARE, p=2e-3)
         dem = DetectorErrorModel(baseline_memory_circuit(3, em).circuit)
@@ -201,3 +233,142 @@ class TestDecoderAgreement:
             uf_fails += uf.decode(dets) != obs
         # Union-find may lose a little accuracy, but not much.
         assert uf_fails <= mwpm_fails * 1.3 + 5
+
+
+def reference_unit_step_growth(graph, lengths, events, max_rounds=100_000):
+    """Independent textbook unit-step growth for regression comparison.
+
+    Clusters are explicit node sets.  Each round, every frontier edge of
+    every active (odd, boundary-free) cluster grows exactly one unit per
+    incident active cluster — by construction an edge can never grow
+    twice per round from the *same* cluster, the bug class the old
+    ``_DSU.union`` frontier concatenation allowed.  Returns
+    ``(trace, support)`` with one ``(round, {edge: cumulative growth})``
+    trace entry per round.
+    """
+    boundary = graph.boundary
+    clusters: list[set[int]] = [{e} for e in events]
+    parity = [1] * len(clusters)
+    has_boundary = [False] * len(clusters)
+    growth: dict[int, int] = {}
+    trace: list[tuple[int, dict[int, int]]] = []
+    support: list[int] = []
+
+    def cluster_of(node):
+        for ci, members in enumerate(clusters):
+            if node in members:
+                return ci
+        return None
+
+    for round_no in range(1, max_rounds):
+        active = {
+            ci
+            for ci in range(len(clusters))
+            if clusters[ci] and parity[ci] % 2 == 1 and not has_boundary[ci]
+        }
+        if not active:
+            return trace, sorted(support)
+        grown: dict[int, int] = {}
+        for edge_id, edge in enumerate(graph.edges):
+            if growth.get(edge_id, 0) >= lengths[edge_id]:
+                continue
+            cu, cv = cluster_of(edge.u), cluster_of(edge.v)
+            if cu is not None and cu == cv:
+                continue  # internal
+            sides = (cu in active) + (cv in active)
+            if not sides:
+                continue
+            growth[edge_id] = growth.get(edge_id, 0) + sides
+            grown[edge_id] = growth[edge_id]
+        trace.append((round_no, grown))
+        for edge_id, amount in grown.items():
+            if amount < lengths[edge_id]:
+                continue
+            support.append(edge_id)
+            edge = graph.edges[edge_id]
+            cu, cv = cluster_of(edge.u), cluster_of(edge.v)
+            for node, ci in ((edge.u, cu), (edge.v, cv)):
+                if ci is None:
+                    clusters.append({node})
+                    parity.append(0)
+                    has_boundary.append(node == boundary)
+            cu, cv = cluster_of(edge.u), cluster_of(edge.v)
+            if cu != cv:
+                clusters[cu] |= clusters[cv]
+                parity[cu] += parity[cv]
+                has_boundary[cu] = has_boundary[cu] or has_boundary[cv]
+                clusters[cv] = set()
+                parity[cv] = 0
+    raise RuntimeError("reference growth did not terminate")
+
+
+class TestGrowthRegression:
+    """Per-round growth pinned against an independent reference.
+
+    Regression for the legacy ``_DSU.union`` frontier concatenation,
+    which left duplicate edge ids in a cluster's frontier after merges —
+    a latent path for a shared edge to grow twice per round from one
+    cluster.  The flat-array decoder dedups structurally (per-round
+    stamp); these tests compare its whole growth trajectory, round by
+    round, with the reference on hand-built graphs.
+    """
+
+    def _hand_graphs(self):
+        # 3-node line with boundary hangers (the docstring graph).
+        line = line_graph()
+        # Triangle with a boundary exit: events {0, 1} put the shared
+        # edge (0, 1) in *both* clusters' frontiers — after their merge
+        # the frontier holds it twice, the duplicate scenario.
+        tri = MatchingGraph(3, "Z")
+        tri.add_edge(0, 1, 0.01, 0)
+        tri.add_edge(1, 2, 0.01, 0)
+        tri.add_edge(0, 2, 0.01, 0)
+        tri.add_edge(2, tri.boundary, 0.01, 1)
+        return [
+            (line, [0, 2]),
+            (line, [1]),
+            (tri, [0, 1]),
+            (tri, [0, 1, 2]),
+        ]
+
+    def test_per_round_growth_matches_reference(self):
+        for graph, events in self._hand_graphs():
+            decoder = UnionFindDecoder(graph)
+            trace: list = []
+            support = decoder._grow(events, trace=trace)
+            ref_trace, ref_support = reference_unit_step_growth(
+                graph, decoder._len, events
+            )
+            ref_by_round = dict(ref_trace)
+            for round_no, snapshot in trace:
+                assert snapshot == ref_by_round[round_no], (events, round_no)
+            assert sorted(support) == ref_support, events
+
+    def test_shared_edge_grows_once_per_cluster_per_round(self):
+        graph = self._hand_graphs()[2][0]
+        decoder = UnionFindDecoder(graph, resolution=1)
+        # resolution=1 -> every edge has length 1; all growth resolves in
+        # round one, where (0,1) is shared between the two clusters.
+        trace: list = []
+        decoder._grow([0, 1], trace=trace)
+        round_one = trace[0][1]
+        shared = graph._edge_index[(0, 1)]
+        single_u = graph._edge_index[(0, 2)]
+        single_v = graph._edge_index[(1, 2)]
+        assert round_one[shared] == 2  # one unit per side, not two per side
+        assert round_one[single_u] == 1
+        assert round_one[single_v] == 1
+
+    def test_legacy_trace_agrees_on_hand_graphs(self):
+        for graph, events in self._hand_graphs():
+            flat = UnionFindDecoder(graph)
+            legacy = LegacyUnionFindDecoder(graph)
+            flat_trace: list = []
+            legacy_trace: list = []
+            flat.decode(events)
+            flat._grow(events, trace=flat_trace)
+            legacy._grow(events, trace=legacy_trace)
+            legacy_by_round = dict(legacy_trace)
+            for round_no, snapshot in flat_trace:
+                assert snapshot == legacy_by_round[round_no], (events, round_no)
+            assert flat.decode(events) == legacy.decode(events), events

@@ -156,14 +156,55 @@ class TestDecodeBatch:
         dets = data.detectors[:, dem.basis_detectors(memory.basis)]
         # Tile the batch: 4x the shots, same unique syndromes.
         tiled = np.vstack([dets] * 4)
-        unique_nonzero = len(
-            {row.tobytes() for row in dets if row.any()}
+        unique_heavy = len(
+            {row.tobytes() for row in dets if row.sum() > 1}
+        )
+        w1_detectors = len(
+            {int(np.argmax(row)) for row in dets if row.sum() == 1}
         )
         calls = []
         inner = decoder.decode
         decoder.decode = lambda events: calls.append(1) or inner(events)
         decoder.decode_batch(tiled)
-        assert len(calls) == unique_nonzero
+        # First call: weight-1 table entries are filled on demand (one
+        # decode per observed single-event detector; union-find has no
+        # analytic override) and each unique weight>=2 syndrome is decoded
+        # once (union-find has no weight-2 table).
+        assert len(calls) == w1_detectors + unique_heavy
+        # Second call: tables and the cross-batch LRU serve everything.
+        calls.clear()
+        repeat = decoder.decode_batch(tiled)
+        assert len(calls) == 0
+        stats = decoder.last_batch_stats
+        assert stats["full"] == 0
+        assert stats["cached"] == unique_heavy
+        np.testing.assert_array_equal(repeat, decoder.decode_batch(tiled))
+
+    def test_tier_accounting_sums_to_unique(self):
+        decoder, dem, memory = self._decoder()
+        data = sample_detection_data(memory.circuit, 512, 0)
+        dets = data.detectors[:, dem.basis_detectors(memory.basis)]
+        decoder.decode_batch(dets)
+        stats = decoder.last_batch_stats
+        from repro.decoders import TIER_NAMES
+
+        assert sum(stats[t] for t in TIER_NAMES) == stats["unique"]
+        assert stats["shots"] == dets.shape[0]
+        unique = len({row.tobytes() for row in dets})
+        assert stats["unique"] == unique
+
+    def test_lru_stays_bounded_across_batches(self):
+        decoder, dem, memory = self._decoder()
+        decoder.lru_capacity = 16
+        for seed in range(6):
+            data = sample_detection_data(memory.circuit, 128, seed)
+            decoder.decode_batch(dets := data.detectors[:, dem.basis_detectors(memory.basis)])
+            assert len(decoder._lru) <= 16
+        # Capacity zero disables caching entirely.
+        decoder._lru.clear()
+        decoder.lru_capacity = 0
+        decoder.decode_batch(dets)
+        assert len(decoder._lru) == 0
 
     def test_zero_syndromes_skip_the_decoder(self):
         decoder, _, _ = self._decoder()
