@@ -33,14 +33,13 @@ Worker count and backend must never change each backend's measured counts
 agree statistically).
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from conftest import shots
+from conftest import merge_bench_json, shots
 from repro.decoders import (
     TIER_NAMES,
     LegacyUnionFindDecoder,
@@ -275,7 +274,9 @@ def test_engine_scaling(once):
             str(d): decode_speedups[(d, "unionfind")] for d in DISTANCES
         },
     }
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    # Merge-write: other benches (bench_program_sweep) own their own
+    # top-level sections of the same file.
+    merge_bench_json(BENCH_JSON, payload)
 
     print()
     print(ascii_table(

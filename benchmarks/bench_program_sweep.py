@@ -1,0 +1,138 @@
+"""Program-level architecture sweep: the compiled-VLQ → packed-engine path.
+
+Runs :func:`repro.vlq.compare_architectures` over the canned Bell-pair
+program — compact vs natural × DRAM-refresh vs none — and records, in a
+``program_sweep`` section merged into ``BENCH_engine.json``:
+
+- per-architecture program/worst-qubit logical error rates and wall
+  clock (shots/sec across the whole multi-circuit campaign),
+- the per-shape cache efficacy (one circuit lowering + one
+  decoder-graph build per distinct timeline shape across the sweep),
+- the aggregate decode-tier occupancy.
+
+Gates (CI smoke runs these at reduced shots):
+
+- both shape caches must report **hits > 0** — the sweep's sharing
+  contract; a key regression would silently rebuild per qubit,
+- decode-tier accounting must sum to the unique-syndrome count,
+- per-backend determinism: ``workers`` must never change the counts.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from conftest import merge_bench_json, shots, workers
+from repro.core import LogicalProgram
+from repro.decoders import TIER_NAMES
+from repro.report import ascii_table
+from repro.vlq import ArchitectureComparison, compare_architectures
+
+DISTANCES = (3,)
+P = 2e-3
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def test_program_sweep(once):
+    n = shots(2000)
+    w = workers(1)
+    program = LogicalProgram.bell_pairs(4)
+
+    def measure():
+        start = time.perf_counter()
+        comparison = compare_architectures(
+            program,
+            distances=DISTANCES,
+            p=P,
+            shots=n,
+            seed=0,
+            workers=w,
+            program_name="pairs",
+        )
+        elapsed = time.perf_counter() - start
+        return comparison, elapsed
+
+    comparison, elapsed = once(measure)
+
+    # --- gates -----------------------------------------------------------
+    lowering = comparison.lowering_cache.stats()
+    graph = comparison.graph_cache.stats()
+    assert lowering["hits"] > 0, f"lowering cache never hit: {lowering}"
+    assert graph["hits"] > 0, f"decoder-graph cache never hit: {graph}"
+    totals = comparison.decode_totals()
+    assert sum(totals[t] for t in TIER_NAMES) == totals["unique"], totals
+    for row in comparison.rows:
+        stats = row.decode_stats
+        assert sum(stats[t] for t in TIER_NAMES) == stats["unique"], stats
+
+    # Workers must never change a campaign's counts (spot-check one row's
+    # worth of work at a different worker count).
+    resharded = compare_architectures(
+        program,
+        distances=DISTANCES,
+        embeddings=("compact",),
+        refresh_policies=("dram",),
+        p=P,
+        shots=n,
+        seed=0,
+        workers=1 if w != 1 else 2,
+        chunk_size=1024,
+        program_name="pairs",
+    )
+    baseline_row = next(
+        r for r in comparison.rows if r.embedding == "compact" and r.refresh == "dram"
+    )
+    for a, b in zip(baseline_row.per_qubit, resharded.rows[0].per_qubit):
+        assert a.result.logical_errors == b.result.logical_errors, (a.qubit, w)
+
+    # --- record ----------------------------------------------------------
+    total_shots = n * sum(len(row.per_qubit) for row in comparison.rows)
+    payload = {
+        "p": P,
+        "program": "pairs",
+        "qubits": 4,
+        "shots_per_qubit": n,
+        "workers": w,
+        "cpu_count": os.cpu_count(),
+        "campaign_shots_per_sec": total_shots / elapsed,
+        "elapsed_seconds": elapsed,
+        "rows": [
+            {
+                "embedding": row.embedding,
+                "refresh": row.refresh,
+                "distance": row.distance,
+                "program_error_rate": row.program_error_rate,
+                "worst_qubit_rate": row.worst_qubit_rate,
+                "per_qubit_errors": [
+                    q.result.logical_errors for q in row.per_qubit
+                ],
+                "timesteps": row.schedule.total_timesteps,
+                "refresh_rounds": row.schedule.refresh_rounds,
+                "decode_tiers": {t: row.decode_stats[t] for t in TIER_NAMES},
+            }
+            for row in comparison.rows
+        ],
+        "lowering_cache": lowering,
+        "graph_cache": graph,
+        "decode_tiers_total": {t: totals[t] for t in TIER_NAMES},
+        "unique_syndromes_total": totals["unique"],
+    }
+    merge_bench_json(BENCH_JSON, {"program_sweep": payload})
+
+    print()
+    print(ascii_table(
+        ArchitectureComparison.TABLE_HEADERS,
+        comparison.table_rows(),
+        title=(
+            f"Program-level sweep: pairs(4), p={P}, {n} shots/qubit, "
+            f"workers={w} ({total_shots / elapsed:,.0f} shots/s end-to-end)"
+        ),
+    ))
+    print(
+        f"lowering cache: {lowering['entries']} shapes, {lowering['hits']} hits; "
+        f"decoder-graph cache: {graph['entries']} shapes, {graph['hits']} hits"
+    )
+    print("tiers " + "/".join(str(totals[t]) for t in TIER_NAMES)
+          + f" of {totals['unique']} unique")
+    print(f"wrote program_sweep section of {BENCH_JSON}")

@@ -9,13 +9,28 @@ the *shape* — who wins, where curves cross — rather than the third digit).
 changes wall-clock only, never the measured counts (see EXPERIMENTS.md).
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 
 def shots(default: int) -> int:
     return int(os.environ.get("REPRO_SHOTS", default))
+
+
+def merge_bench_json(path: Path, sections: dict) -> None:
+    """Update ``sections`` of a bench JSON file, preserving the rest.
+
+    Several benches share BENCH_engine.json; each owns its top-level
+    keys and must not clobber the others'.
+    """
+    merged = {}
+    if path.exists():
+        merged = json.loads(path.read_text())
+    merged.update(sections)
+    path.write_text(json.dumps(merged, indent=2) + "\n")
 
 
 def workers(default: int = 1) -> int:

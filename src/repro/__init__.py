@@ -63,6 +63,7 @@ from repro.magic import (
     generation_rate,
     qubit_cost_table,
 )
+from repro.vlq import compare_architectures, run_program_experiment
 
 __version__ = "1.0.0"
 
@@ -86,6 +87,7 @@ __all__ = [
     "baseline_memory_circuit",
     "compact_memory_circuit",
     "compact_transmons",
+    "compare_architectures",
     "compile_program",
     "estimate_threshold",
     "generation_rate",
@@ -94,6 +96,7 @@ __all__ = [
     "natural_transmons",
     "qubit_cost_table",
     "run_memory_experiment",
+    "run_program_experiment",
     "run_sensitivity_panel",
     "tomography_of_transversal_cnot",
     "transmon_savings_factor",

@@ -6,12 +6,39 @@ Commands
 ``magic``       print the Fig. 13 factory comparison
 ``inventory``   print hardware inventories for a machine configuration
 ``threshold``   run a quick threshold sweep for one scheme
+``memory``      run one logical-memory Monte-Carlo point
+``compare``     program-level compact-vs-natural architecture comparison
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """The Monte-Carlo engine knobs shared by every sampling command."""
+    parser.add_argument("--decoder", choices=("unionfind", "mwpm"),
+                        default="unionfind")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the Monte-Carlo engine")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="shots materialized per chunk (memory bound; "
+                             "defaults to the engine default)")
+    parser.add_argument("--backend", choices=("packed", "reference"),
+                        default="packed",
+                        help="sampling backend: compiled bit-plane (packed)"
+                             " or per-instruction bool-array (reference)")
+
+
+def _tier_summary(stats: dict) -> str:
+    from repro.decoders import TIER_NAMES
+
+    parts = [f"{tier}={stats.get(tier, 0)}" for tier in TIER_NAMES]
+    return (
+        f"decode tiers: {' '.join(parts)} "
+        f"(unique={stats.get('unique', 0)}, shots={stats.get('shots', 0)})"
+    )
 
 
 def _cmd_tables(_args) -> None:
@@ -97,6 +124,90 @@ def _cmd_threshold(args) -> None:
           "not bracketed" if threshold is None else f"{threshold:.4f}")
 
 
+def _cmd_memory(args) -> None:
+    from repro.decoders import TIER_NAMES
+    from repro.noise import ErrorModel
+    from repro.sim import DEFAULT_CHUNK_SIZE, run_memory_experiment
+    from repro.threshold import build_memory_circuit
+    from repro.threshold.estimator import default_hardware_for
+
+    model = ErrorModel(
+        hardware=default_hardware_for(args.scheme),
+        p=args.p,
+        scale_coherence=False,
+    )
+    memory = build_memory_circuit(
+        args.scheme, args.distance, model, basis=args.basis, rounds=args.rounds
+    )
+    result = run_memory_experiment(
+        memory,
+        shots=args.shots,
+        decoder=args.decoder,
+        seed=args.seed,
+        workers=args.workers,
+        chunk_size=DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size,
+        backend=args.backend,
+    )
+    print(result)
+    stats = result.decode_stats
+    print(_tier_summary(stats))
+    balanced = sum(stats.get(t, 0) for t in TIER_NAMES) == stats.get("unique", 0)
+    print(f"tier accounting {'balances' if balanced else 'MISMATCH'} "
+          "(sum of tiers vs unique syndromes)")
+
+
+def _cmd_compare(args) -> None:
+    from repro.decoders import TIER_NAMES
+    from repro.report import ascii_table
+    from repro.sim import DEFAULT_CHUNK_SIZE
+    from repro.vlq import ArchitectureComparison, build_program, compare_architectures
+
+    program = build_program(args.program, args.qubits)
+    embeddings = ("compact", "natural") if args.embedding == "both" else (args.embedding,)
+    refreshes = ("dram", "none") if args.refresh == "both" else (args.refresh,)
+    comparison = compare_architectures(
+        program,
+        distances=tuple(args.distance),
+        embeddings=embeddings,
+        refresh_policies=refreshes,
+        p=args.p,
+        shots=args.shots,
+        stack_grid=(args.grid, args.grid),
+        rounds_per_timestep=args.rounds_per_timestep,
+        decoder=args.decoder,
+        seed=args.seed,
+        workers=args.workers,
+        chunk_size=DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size,
+        backend=args.backend,
+        program_name=args.program,
+    )
+    print(ascii_table(
+        ArchitectureComparison.TABLE_HEADERS,
+        comparison.table_rows(),
+        title=(
+            f"Program-level comparison: {args.program}({args.qubits}), "
+            f"p={args.p:g}, {args.shots} shots/qubit, backend={args.backend}"
+        ),
+    ))
+    print()
+    for row in comparison.rows:
+        for qubit in row.per_qubit:
+            print(f"  {row.embedding}/{row.refresh} d={row.distance} "
+                  f"q{qubit.qubit}: {qubit.result}")
+    print()
+    lowering = comparison.lowering_cache.stats()
+    graph = comparison.graph_cache.stats()
+    print(f"lowering cache: {lowering['entries']} shapes, "
+          f"{lowering['hits']} hits, {lowering['misses']} misses")
+    print(f"decoder-graph cache: {graph['entries']} shapes, "
+          f"{graph['hits']} hits, {graph['misses']} misses")
+    totals = comparison.decode_totals()
+    print(_tier_summary(totals))
+    balanced = sum(totals.get(t, 0) for t in TIER_NAMES) == totals.get("unique", 0)
+    print(f"tier accounting {'balances' if balanced else 'MISMATCH'} "
+          "(sum of tiers vs unique syndromes)")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -111,23 +222,54 @@ def main(argv: list[str] | None = None) -> int:
     threshold = sub.add_parser("threshold")
     threshold.add_argument("--scheme", default="baseline")
     threshold.add_argument("--shots", type=int, default=500)
-    threshold.add_argument("--decoder", choices=("unionfind", "mwpm"),
-                           default="unionfind")
-    threshold.add_argument("--workers", type=int, default=1,
-                           help="worker processes for the Monte-Carlo engine")
-    threshold.add_argument("--chunk-size", type=int, default=None,
-                           help="shots materialized per chunk (memory bound; "
-                                "defaults to the engine default)")
-    threshold.add_argument("--backend", choices=("packed", "reference"),
-                           default="packed",
-                           help="sampling backend: compiled bit-plane (packed)"
-                                " or per-instruction bool-array (reference)")
+    _add_engine_args(threshold)
+
+    memory = sub.add_parser(
+        "memory", help="one logical-memory Monte-Carlo point with tier accounting"
+    )
+    memory.add_argument("--scheme", default="baseline",
+                        help="baseline | natural_* | compact_* (see Fig. 11)")
+    memory.add_argument("--distance", type=int, default=3)
+    memory.add_argument("--p", type=float, default=2e-3,
+                        help="physical error rate (coherence pinned at Table I)")
+    memory.add_argument("--rounds", type=int, default=None,
+                        help="extraction rounds (default: distance)")
+    memory.add_argument("--basis", choices=("Z", "X"), default="Z")
+    memory.add_argument("--shots", type=int, default=2000)
+    memory.add_argument("--seed", type=int, default=0)
+    _add_engine_args(memory)
+
+    compare = sub.add_parser(
+        "compare", help="program-level compact-vs-natural architecture comparison"
+    )
+    compare.add_argument("--program", choices=("pairs", "ghz"), default="pairs")
+    compare.add_argument("--qubits", type=int, default=4)
+    compare.add_argument("--distance", type=int, nargs="+", default=[3])
+    compare.add_argument("--p", type=float, default=2e-3)
+    compare.add_argument("--shots", type=int, default=2000,
+                         help="Monte-Carlo shots per logical qubit")
+    compare.add_argument("--grid", type=int, default=2,
+                         help="stack grid side (grid x grid stacks)")
+    compare.add_argument("--embedding", choices=("both", "compact", "natural"),
+                         default="both")
+    compare.add_argument("--refresh", choices=("both", "dram", "none"),
+                         default="both",
+                         help="DRAM-style background refresh vs the no-refresh"
+                              " ablation")
+    compare.add_argument("--rounds-per-timestep", type=int, default=1,
+                         help="extraction rounds per compiler timestep (the "
+                              "paper's clock is d; 1 keeps sweeps fast)")
+    compare.add_argument("--seed", type=int, default=0)
+    _add_engine_args(compare)
+
     args = parser.parse_args(argv)
     {
         "tables": _cmd_tables,
         "magic": _cmd_magic,
         "inventory": _cmd_inventory,
         "threshold": _cmd_threshold,
+        "memory": _cmd_memory,
+        "compare": _cmd_compare,
     }[args.command](args)
     return 0
 

@@ -9,14 +9,16 @@ from repro.arch.counts import (
     total_qubits,
     transmon_savings_factor,
 )
-from repro.arch.natural import natural_memory_circuit
+from repro.arch.natural import make_natural_emitter, natural_memory_circuit
 from repro.arch.compact import (
     CompactLayout,
     CompactScheduleSpec,
     DEFAULT_SPEC,
     ScheduleConflictError,
     compact_memory_circuit,
+    emit_compact_rounds,
     find_schedule_spec,
+    make_compact_emitter,
 )
 
 __all__ = [
@@ -27,8 +29,11 @@ __all__ = [
     "compact_cavities",
     "compact_memory_circuit",
     "compact_transmons",
+    "emit_compact_rounds",
     "find_schedule_spec",
+    "make_compact_emitter",
     "lattice_tiles_transmons",
+    "make_natural_emitter",
     "natural_cavities",
     "natural_memory_circuit",
     "natural_transmons",

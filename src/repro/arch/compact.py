@@ -44,6 +44,8 @@ __all__ = [
     "ScheduleConflictError",
     "compact_memory_circuit",
     "find_schedule_spec",
+    "make_compact_emitter",
+    "emit_compact_rounds",
 ]
 
 #: Merge corner per check type (Fig. 7b).
@@ -372,6 +374,43 @@ def compact_memory_circuit(
         duration=builder.elapsed,
         op_counts=dict(builder.op_counts),
     )
+
+
+def make_compact_emitter(
+    code: RotatedSurfaceCode,
+    builder: MomentCircuitBuilder,
+    registry: SlotRegistry,
+    spec: CompactScheduleSpec | None = None,
+) -> _CompactEmitter:
+    """A Compact round emitter for external circuit assemblers.
+
+    The returned emitter owns the layout's transmon/mode/extra-ancilla
+    slots and the lazy load/store bookkeeping; callers drive it with
+    :func:`emit_compact_rounds` (and its ``store_all``/``load_all``)
+    to splice Compact extraction rounds into larger circuits — the
+    program-level VLQ lowering builds per-qubit timelines this way.
+    """
+    emitter = _CompactEmitter(
+        CompactLayout(code), spec or DEFAULT_SPEC, builder, registry
+    )
+    emitter._period = 10  # unpipelined rounds (the splice-safe variant)
+    # One round's steps are a pure function of (code, spec); derive once
+    # so every spliced round/refresh segment reuses them.
+    emitter._unpipelined_steps = _build_steps(code, emitter.spec, 1, pipelined=False)
+    return emitter
+
+
+def emit_compact_rounds(emitter: _CompactEmitter, rounds: int) -> None:
+    """Emit ``rounds`` unpipelined Compact extraction rounds.
+
+    Merged-host data qubits must currently be parked in their cavity
+    modes (their transmons double as ancillas); loads happen lazily
+    inside each round — the same 10-step structure the Interleaved
+    schedule validates — and the caller decides when to
+    ``emitter.store_all()``.
+    """
+    for _ in range(rounds):
+        emitter.emit_steps(emitter._unpipelined_steps)
 
 
 # ----------------------------------------------------------------------

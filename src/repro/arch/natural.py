@@ -13,12 +13,18 @@ Two service disciplines (§III-A):
 * **Interleaved**: load/round/store every cycle; the gap is
   (k−1)·(T_round + 2·T_ls) per round, paid d times — more load/store churn,
   but each logical qubit is corrected k× more often.
+
+:func:`make_natural_emitter` exposes the embedding's slot assignment and
+moment fragments (whole-patch load/store, standard round, readout) for
+external circuit assemblers — the program-level VLQ lowering splices
+Natural extraction rounds into per-qubit timelines the same way
+``make_compact_emitter`` serves the Compact embedding.
 """
 
 from __future__ import annotations
 
 from repro.noise import ErrorModel
-from repro.surface_code.builder import CAVITY, MomentCircuitBuilder, SlotRegistry
+from repro.surface_code.builder import MomentCircuitBuilder, SlotRegistry
 from repro.surface_code.extraction import (
     MemoryCircuit,
     emit_standard_round,
@@ -27,9 +33,78 @@ from repro.surface_code.extraction import (
 )
 from repro.surface_code.layout import RotatedSurfaceCode
 
-__all__ = ["natural_memory_circuit"]
+__all__ = ["make_natural_emitter", "natural_memory_circuit"]
 
 SCHEDULES = ("all_at_once", "interleaved")
+
+
+class _NaturalEmitter:
+    """Slot assignment and moment fragments of the Natural embedding."""
+
+    def __init__(
+        self,
+        code: RotatedSurfaceCode,
+        builder: MomentCircuitBuilder,
+        registry: SlotRegistry,
+    ):
+        self.code = code
+        self.builder = builder
+        self.transmon = {c: registry.slot(("t", c)) for c in code.data_coords}
+        self.mode = {c: registry.slot(("m", c)) for c in code.data_coords}
+        self.ancilla = {p.cell: registry.slot(("anc", p.cell)) for p in code.plaquettes}
+        self.round_duration = standard_round_duration(builder.error_model)
+        #: the per-cycle load+store overhead of the service disciplines
+        self.cycle_overhead = 2 * builder.error_model.hardware.t_load_store
+
+    def init(self, basis: str) -> None:
+        """Encode logical |0⟩ (or |+⟩) on the data transmons."""
+        hw = self.builder.error_model.hardware
+        coords = self.code.data_coords
+        self.builder.moment(hw.t_reset, [("R", self.transmon[c]) for c in coords])
+        if basis == "X":
+            self.builder.moment(hw.t_gate_1q, [("H", self.transmon[c]) for c in coords])
+
+    def load_all(self) -> None:
+        hw = self.builder.error_model.hardware
+        self.builder.moment(
+            hw.t_load_store,
+            [("LOAD", self.mode[c], self.transmon[c]) for c in self.code.data_coords],
+        )
+
+    def store_all(self) -> None:
+        hw = self.builder.error_model.hardware
+        self.builder.moment(
+            hw.t_load_store,
+            [("STORE", self.transmon[c], self.mode[c]) for c in self.code.data_coords],
+        )
+
+    def round(self) -> None:
+        """One standard extraction round (data must be on transmons)."""
+        emit_standard_round(self.builder, self.code, self.transmon, self.ancilla)
+
+    def readout(self, basis: str) -> None:
+        """Final transversal data measurement (data on transmons)."""
+        hw = self.builder.error_model.hardware
+        coords = self.code.data_coords
+        if basis == "X":
+            self.builder.moment(hw.t_gate_1q, [("H", self.transmon[c]) for c in coords])
+        self.builder.moment(
+            hw.t_measure, [("M", self.transmon[c], ("data", c)) for c in coords]
+        )
+
+
+def make_natural_emitter(
+    code: RotatedSurfaceCode,
+    builder: MomentCircuitBuilder,
+    registry: SlotRegistry,
+) -> _NaturalEmitter:
+    """A Natural-embedding emitter for external circuit assemblers.
+
+    Owns the transmon/mode/ancilla slots and the embedding's moment
+    fragments; :func:`natural_memory_circuit` and the VLQ lowering both
+    drive it, so the two stay structurally identical by construction.
+    """
+    return _NaturalEmitter(code, builder, registry)
 
 
 def natural_memory_circuit(
@@ -58,53 +133,30 @@ def natural_memory_circuit(
         raise ValueError("need at least one round")
 
     builder = MomentCircuitBuilder(error_model)
-    registry = SlotRegistry()
-    transmon = {c: registry.slot(("t", c)) for c in code.data_coords}
-    mode = {c: registry.slot(("m", c)) for c in code.data_coords}
-    ancilla = {p.cell: registry.slot(("anc", p.cell)) for p in code.plaquettes}
-
+    emitter = make_natural_emitter(code, builder, SlotRegistry())
     k = hw.cavity_modes
-    t_round = standard_round_duration(error_model)
-    cycle_overhead = 2 * hw.t_load_store
-
-    def load_all() -> None:
-        builder.moment(
-            hw.t_load_store,
-            [("LOAD", mode[c], transmon[c]) for c in code.data_coords],
-        )
-
-    def store_all() -> None:
-        builder.moment(
-            hw.t_load_store,
-            [("STORE", transmon[c], mode[c]) for c in code.data_coords],
-        )
+    t_round = emitter.round_duration
 
     # --- initialization: encode on transmons, then park in the cavities ---
-    builder.moment(hw.t_reset, [("R", transmon[c]) for c in code.data_coords])
-    if basis == "X":
-        builder.moment(hw.t_gate_1q, [("H", transmon[c]) for c in code.data_coords])
-    store_all()
+    emitter.init(basis)
+    emitter.store_all()
 
     # --- service periods ---
     if schedule == "all_at_once":
-        builder.idle_gap((k - 1) * (rounds * t_round + cycle_overhead))
-        load_all()
+        builder.idle_gap((k - 1) * (rounds * t_round + emitter.cycle_overhead))
+        emitter.load_all()
         for _ in range(rounds):
-            emit_standard_round(builder, code, transmon, ancilla)
+            emitter.round()
     else:
         for r in range(rounds):
-            builder.idle_gap((k - 1) * (t_round + cycle_overhead))
-            load_all()
-            emit_standard_round(builder, code, transmon, ancilla)
+            builder.idle_gap((k - 1) * (t_round + emitter.cycle_overhead))
+            emitter.load_all()
+            emitter.round()
             if r < rounds - 1:
-                store_all()
+                emitter.store_all()
 
     # --- final transversal readout (data already on transmons) ---
-    if basis == "X":
-        builder.moment(hw.t_gate_1q, [("H", transmon[c]) for c in code.data_coords])
-    builder.moment(
-        hw.t_measure, [("M", transmon[c], ("data", c)) for c in code.data_coords]
-    )
+    emitter.readout(basis)
     finish_memory_experiment(builder, code, basis)
     return MemoryCircuit(
         circuit=builder.circuit,

@@ -15,6 +15,7 @@ from repro.core.costs import OperationCosts, DEFAULT_COSTS
 from repro.core.manager import MemoryManager, OutOfMemoryError
 from repro.core.program import LogicalOp, LogicalProgram
 from repro.core.refresh import RefreshScheduler, RefreshViolation
+from repro.core.timeline import QubitTimeline, ResidenceInterval
 from repro.core.compiler import CompiledSchedule, ScheduledEvent, compile_program
 
 __all__ = [
@@ -26,8 +27,10 @@ __all__ = [
     "MemoryManager",
     "OperationCosts",
     "OutOfMemoryError",
+    "QubitTimeline",
     "RefreshScheduler",
     "RefreshViolation",
+    "ResidenceInterval",
     "ScheduledEvent",
     "VirtualAddress",
     "compile_program",

@@ -18,6 +18,7 @@ from repro.core.costs import DEFAULT_COSTS, OperationCosts
 from repro.core.manager import MemoryManager, OutOfMemoryError
 from repro.core.program import LogicalProgram
 from repro.core.refresh import RefreshScheduler
+from repro.core.timeline import QubitTimeline, ResidenceInterval
 
 __all__ = ["CompiledSchedule", "ScheduledEvent", "compile_program"]
 
@@ -42,7 +43,15 @@ class ScheduledEvent:
 
 @dataclass
 class CompiledSchedule:
-    """The compiler's output: events, stats and refresh audit."""
+    """The compiler's output: events, stats, and per-qubit timelines.
+
+    ``residences`` and ``refresh_times`` are the first-class per-qubit
+    record of where every logical qubit lived and when the background
+    refresh serviced it; the refresh audit consumes them (rather than
+    re-deriving residency from the event stream) and the program-level
+    noise pipeline (``repro.vlq``) lowers them into noisy circuits via
+    :meth:`qubit_timeline`.
+    """
 
     machine: Machine
     costs: OperationCosts
@@ -54,6 +63,30 @@ class CompiledSchedule:
     refresh_violations: int = 0
     max_staleness: int = 0
     refresh_rounds: int = 0
+    #: qubit -> contiguous cavity residence intervals, in time order
+    residences: dict[int, list[ResidenceInterval]] = field(default_factory=dict)
+    #: qubit -> timesteps (0-based) of its background refresh rounds
+    refresh_times: dict[int, list[int]] = field(default_factory=dict)
+
+    def qubit_timeline(self, qubit: int) -> QubitTimeline:
+        """The full per-qubit view: residences, ops, refresh rounds."""
+        if qubit not in self.residences:
+            raise KeyError(f"q{qubit} never resided on this schedule")
+        ops = [
+            e
+            for e in sorted(self.events, key=lambda e: (e.start, e.end))
+            if qubit in e.qubits
+        ]
+        return QubitTimeline(
+            qubit=qubit,
+            total_timesteps=self.total_timesteps,
+            residences=self.residences[qubit],
+            ops=ops,
+            refreshes=self.refresh_times.get(qubit, []),
+        )
+
+    def qubit_timelines(self) -> dict[int, QubitTimeline]:
+        return {q: self.qubit_timeline(q) for q in sorted(self.residences)}
 
     def timeline(self) -> str:
         """Human-readable schedule dump."""
@@ -258,7 +291,10 @@ def compile_program(
             raise NotImplementedError(op.name)
 
     schedule.total_timesteps = max((e.end for e in schedule.events), default=0)
-    _replay_refresh(program, manager, schedule, busy_intervals, preexisting)
+    schedule.residences = _residence_intervals(
+        schedule, preexisting, schedule.total_timesteps
+    )
+    _replay_refresh(schedule, busy_intervals)
     return schedule
 
 
@@ -328,32 +364,65 @@ class _ResidenceView:
                 residents.remove(qubit)
 
 
-def _replay_refresh(program, manager, schedule, busy_intervals, preexisting) -> None:
-    """Replay the timeline against the refresh scheduler (audit pass).
+def _residence_intervals(
+    schedule: CompiledSchedule,
+    preexisting: dict[int, tuple[int, int]],
+    total: int,
+) -> dict[int, list[ResidenceInterval]]:
+    """Per-qubit cavity residence intervals from the event stream.
 
-    Residence is reconstructed from the event stream (ALLOC / MOVE /
-    MEASURE), so qubits are audited where they actually lived at each
-    timestep — including qubits measured away before the program ends.
-    ``preexisting`` maps qubits allocated before compilation began to
-    their entry-time stacks; they are tracked from t=0.
+    A qubit resides from its ALLOC end (or t=0 for ``preexisting``
+    qubits that were already on the caller's manager) until it is
+    measured away or the program ends; every MOVE closes one interval
+    and opens the next at the same timestep.
     """
-    view = _ResidenceView(manager.machine)
-    refresh = RefreshScheduler(view)
-    for q, stack in preexisting.items():
-        view.place(q, stack)
-        refresh.track(q)
-    changes: dict[int, list[tuple[str, int, tuple[int, int] | None]]] = {}
-    for event in schedule.events:
+    intervals: dict[int, list[ResidenceInterval]] = {}
+    open_stays: dict[int, tuple[tuple[int, int], int]] = {
+        q: (stack, 0) for q, stack in preexisting.items()
+    }
+    for event in sorted(schedule.events, key=lambda e: (e.end, e.start)):
         if event.name == "ALLOC":
-            changes.setdefault(event.end, []).append(
-                ("add", event.qubits[0], event.stacks[0])
-            )
+            open_stays[event.qubits[0]] = (event.stacks[0], event.end)
         elif event.name == "MOVE":
-            changes.setdefault(event.end, []).append(
-                ("move", event.qubits[0], event.stacks[-1])
+            q = event.qubits[0]
+            stack, start = open_stays.pop(q)
+            intervals.setdefault(q, []).append(
+                ResidenceInterval(stack, start, event.end)
             )
+            open_stays[q] = (event.stacks[-1], event.end)
         elif event.name in ("MEASURE_Z", "MEASURE_X"):
-            changes.setdefault(event.end, []).append(("drop", event.qubits[0], None))
+            q = event.qubits[0]
+            stack, start = open_stays.pop(q)
+            intervals.setdefault(q, []).append(
+                ResidenceInterval(stack, start, event.end)
+            )
+    for q, (stack, start) in open_stays.items():
+        intervals.setdefault(q, []).append(ResidenceInterval(stack, start, total))
+    return intervals
+
+
+def _replay_refresh(schedule: CompiledSchedule, busy_intervals) -> None:
+    """Drive the refresh scheduler over the residence timelines (audit).
+
+    This is a pure *consumer* of ``schedule.residences`` — the same
+    first-class per-qubit API the noise-lowering pipeline uses — so the
+    audit sees each qubit at the stack hosting it at that timestep
+    (including qubits measured away mid-program), and its per-qubit
+    refresh history lands back on ``schedule.refresh_times``.
+    """
+    view = _ResidenceView(schedule.machine)
+    refresh = RefreshScheduler(view)
+    changes: dict[int, list[tuple[str, int, tuple[int, int] | None]]] = {}
+    for q, intervals in schedule.residences.items():
+        changes.setdefault(intervals[0].start, []).append(
+            ("add", q, intervals[0].stack)
+        )
+        for interval in intervals[1:]:
+            changes.setdefault(interval.start, []).append(("move", q, interval.stack))
+        if intervals[-1].end < schedule.total_timesteps:
+            # The qubit was measured away; still-resident qubits run to
+            # the makespan and simply stop being ticked.
+            changes.setdefault(intervals[-1].end, []).append(("drop", q, None))
     op_ends: dict[int, list[int]] = {}
     for event in schedule.events:
         op_ends.setdefault(event.end, []).extend(event.qubits)
@@ -377,3 +446,6 @@ def _replay_refresh(program, manager, schedule, busy_intervals, preexisting) -> 
     schedule.refresh_violations = len(refresh.violations)
     schedule.max_staleness = refresh.max_staleness_seen
     schedule.refresh_rounds = sum(refresh.refresh_counts.values())
+    schedule.refresh_times = {
+        q: [tick - 1 for tick in ticks] for q, ticks in refresh.refresh_times.items()
+    }

@@ -130,3 +130,21 @@ class LogicalProgram:
         for i in range(n - 1):
             program.cnot(i, i + 1)
         return program
+
+    @staticmethod
+    def bell_pairs(n: int) -> "LogicalProgram":
+        """n/2 independent Bell pairs on n qubits (n even).
+
+        The pairs do not interact, so the allocator spreads them over
+        stacks and their members share per-qubit timelines — the
+        program-level Monte-Carlo's shape caches get guaranteed hits.
+        """
+        if n < 2 or n % 2:
+            raise ValueError("bell_pairs needs an even number of qubits >= 2")
+        program = LogicalProgram()
+        program.alloc(*range(n))
+        for i in range(0, n, 2):
+            program.h(i)
+        for i in range(0, n, 2):
+            program.cnot(i, i + 1)
+        return program

@@ -48,6 +48,10 @@ class RefreshScheduler:
     now: int = 0
     last_refresh: dict[int, int] = field(default_factory=dict)
     refresh_counts: dict[int, int] = field(default_factory=dict)
+    #: per-qubit history of refresh ticks (values of ``now`` at service
+    #: time, 1-based) — the raw material of the per-qubit timelines;
+    #: kept after ``untrack`` so measured qubits stay queryable
+    refresh_times: dict[int, list[int]] = field(default_factory=dict)
     violations: list[RefreshViolation] = field(default_factory=list)
     max_staleness_seen: int = 0
 
@@ -60,6 +64,7 @@ class RefreshScheduler:
         """Start tracking a (newly allocated) qubit; counts as fresh."""
         self.last_refresh[qubit] = self.now
         self.refresh_counts.setdefault(qubit, 0)
+        self.refresh_times.setdefault(qubit, [])
 
     def untrack(self, qubit: int) -> None:
         self.last_refresh.pop(qubit, None)
@@ -99,6 +104,7 @@ class RefreshScheduler:
                     self.refresh_counts[stalest] = (
                         self.refresh_counts.get(stalest, 0) + 1
                     )
+                    self.refresh_times.setdefault(stalest, []).append(self.now)
                     refreshed.append(stalest)
         for q in self.last_refresh:
             s = self.staleness(q)

@@ -1,0 +1,136 @@
+"""Per-qubit residence and activity timelines of a compiled schedule.
+
+The compiler (§III-D) produces a global event stream; what the refresh
+audit and the program-level noise pipeline both need is the *per-qubit*
+view: where a logical qubit lived at every timestep (which stack's
+cavity), when it was busy on the transmon layer executing operations,
+and when the background DRAM-style refresh serviced it.  This module
+makes that view a first-class queryable API — the refresh audit replays
+against it, and ``repro.vlq.lowering`` turns it into noisy circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.compiler import ScheduledEvent
+
+__all__ = ["QubitTimeline", "ResidenceInterval"]
+
+
+@dataclass(frozen=True)
+class ResidenceInterval:
+    """One stay of a logical qubit in a stack's cavity.
+
+    ``start``/``end`` are timesteps (end exclusive).  A qubit still
+    resident when the program finishes has ``end == total_timesteps``.
+    """
+
+    stack: tuple[int, int]
+    start: int
+    end: int
+
+    def covers(self, t: int) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass
+class QubitTimeline:
+    """Everything that happened to one logical qubit, in time order.
+
+    Attributes
+    ----------
+    qubit:
+        Virtual qubit id.
+    total_timesteps:
+        The schedule's makespan.
+    residences:
+        Contiguous :class:`ResidenceInterval` list (a MOVE ends one
+        interval and starts the next at the same timestep).
+    ops:
+        Scheduled events naming this qubit (ALLOC/MOVE/gates/MEASURE),
+        in start order.
+    refreshes:
+        Timesteps at which the background refresh scheduler gave this
+        qubit its round of error correction (0-based, one entry per
+        round; operations correct their operands as a side effect and
+        are *not* listed here).
+    """
+
+    qubit: int
+    total_timesteps: int
+    residences: list[ResidenceInterval]
+    ops: list["ScheduledEvent"]
+    refreshes: list[int]
+
+    # ------------------------------------------------------------------
+    def stack_at(self, t: int) -> tuple[int, int] | None:
+        """The stack hosting the qubit at timestep ``t`` (None if dead)."""
+        for interval in self.residences:
+            if interval.covers(t):
+                return interval.stack
+        return None
+
+    @property
+    def measured(self) -> bool:
+        """Whether the program measured (and thus freed) this qubit."""
+        return any(op.name in ("MEASURE_Z", "MEASURE_X") for op in self.ops)
+
+    # ------------------------------------------------------------------
+    def segments(self, include_refreshes: bool = True) -> tuple[tuple, ...]:
+        """The qubit's life as an ordered, canonical segment sequence.
+
+        Returns a tuple of segments, each one of:
+
+        * ``("rounds", n)`` — the qubit spends ``n`` timesteps on the
+          transmon layer (ALLOC/MOVE/gate windows; operations include
+          error correction, so these lower to extraction rounds),
+        * ``("idle", n)`` — ``n`` timesteps stored in its cavity mode
+          with no correction,
+        * ``("refresh",)`` — one background round of correction
+          (load → extract → store), consuming one timestep.
+
+        Adjacent transmon windows merge, so the sequence is canonical:
+        two qubits with equal segment tuples lower to identical noisy
+        circuits (the campaign's shape-cache key).  A terminal MEASURE
+        window is *not* included — the lowering emits the final
+        transversal readout itself.  With ``include_refreshes=False``
+        the refresh rounds are dropped and their timesteps rejoin the
+        surrounding idle windows (the "no refresh" ablation).
+        """
+        out: list[tuple] = []
+        refreshes = sorted(self.refreshes)
+
+        def add_gap(a: int, b: int) -> None:
+            cursor = a
+            if include_refreshes:
+                for t in refreshes:
+                    if t < a or t >= b:
+                        continue
+                    if t > cursor:
+                        out.append(("idle", t - cursor))
+                    out.append(("refresh",))
+                    cursor = t + 1
+            if b > cursor:
+                out.append(("idle", b - cursor))
+
+        cursor: int | None = None
+        for op in self.ops:
+            if cursor is None:
+                cursor = op.start
+            elif op.start > cursor:
+                add_gap(cursor, op.start)
+                cursor = op.start
+            if op.name in ("MEASURE_Z", "MEASURE_X"):
+                return tuple(out)  # readout is the lowering's job
+            if op.duration > 0:
+                if out and out[-1][0] == "rounds":
+                    out[-1] = ("rounds", out[-1][1] + op.duration)
+                else:
+                    out.append(("rounds", op.duration))
+            cursor = max(cursor, op.end)
+        if cursor is not None and cursor < self.total_timesteps:
+            add_gap(cursor, self.total_timesteps)
+        return tuple(out)

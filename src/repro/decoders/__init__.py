@@ -6,11 +6,13 @@ bounded cross-batch LRU, full decode) used by the Monte-Carlo engine.
 """
 
 from repro.decoders.batch import TIER_NAMES, SyndromeDecoder
+from repro.decoders.cache import BuildCache
 from repro.decoders.graph import DecodingEdge, DistanceTables, MatchingGraph
 from repro.decoders.mwpm import MWPMDecoder
 from repro.decoders.unionfind import LegacyUnionFindDecoder, UnionFindDecoder
 
 __all__ = [
+    "BuildCache",
     "DecodingEdge",
     "DistanceTables",
     "LegacyUnionFindDecoder",

@@ -5,7 +5,9 @@ from repro.sim.engine import (
     BACKENDS,
     DEFAULT_CHUNK_SIZE,
     SHOT_BLOCK,
+    accumulate_decode_stats,
     count_logical_errors,
+    make_sampler,
     shot_blocks,
 )
 from repro.sim.frame import (
@@ -14,7 +16,9 @@ from repro.sim.frame import (
     sample_detection_data,
 )
 from repro.sim.experiment import (
+    DecodingSetup,
     LogicalErrorResult,
+    prepare_decoding,
     run_memory_experiment,
 )
 from repro.sim.stats import wilson_interval
@@ -23,11 +27,15 @@ __all__ = [
     "BACKENDS",
     "CompiledCircuit",
     "DEFAULT_CHUNK_SIZE",
+    "DecodingSetup",
     "FrameSimulator",
     "LogicalErrorResult",
     "SHOT_BLOCK",
+    "accumulate_decode_stats",
     "compile_circuit",
     "count_logical_errors",
+    "make_sampler",
+    "prepare_decoding",
     "run_memory_experiment",
     "sample_detection_chunks",
     "sample_detection_data",

@@ -48,6 +48,7 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_CHUNK_SIZE",
     "SHOT_BLOCK",
+    "accumulate_decode_stats",
     "count_logical_errors",
     "make_sampler",
     "shot_blocks",
@@ -152,9 +153,19 @@ def _run_chunk_in_worker(blocks) -> tuple[int, dict[str, int]]:
     return _run_chunk(*_WORKER["args"], blocks)
 
 
-def _accumulate_stats(into: dict, stats: dict[str, int]) -> None:
+def accumulate_decode_stats(into: dict, stats: dict[str, int]) -> None:
+    """Sum one decode-tier stats dict into an accumulator in place.
+
+    The shared convention for tier accounting across chunks, workers,
+    circuits of a campaign, and points of a sweep: plain per-key sums,
+    so ``sum(into[t] for t in TIER_NAMES) == into["unique"]`` holds for
+    any aggregate whose parts each satisfy it.
+    """
     for key, value in stats.items():
         into[key] = into.get(key, 0) + value
+
+
+_accumulate_stats = accumulate_decode_stats
 
 
 def count_logical_errors(
@@ -168,6 +179,7 @@ def count_logical_errors(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     backend: str = "packed",
     decode_stats: dict | None = None,
+    sampler=None,
 ) -> int:
     """Count shots whose decoded prediction disagrees with the truth.
 
@@ -194,6 +206,11 @@ def count_logical_errors(
         per-chunk notions: a syndrome occurring in two chunks counts as
         unique in both, and as ``cached`` in the second only via the
         decoder's cross-batch LRU (per worker process).
+    sampler:
+        Optional pre-built sampler (the object :func:`make_sampler`
+        returns for this ``circuit``/``backend``), so multi-circuit
+        campaigns compile each distinct circuit shape once and reuse it
+        across calls.  When omitted, the circuit is compiled here.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -204,7 +221,8 @@ def count_logical_errors(
             f"cannot pack {len(obs_ids)} observables into an int64 mask "
             "(at most 63 observables per basis are supported)"
         )
-    sampler = make_sampler(circuit, backend)
+    if sampler is None:
+        sampler = make_sampler(circuit, backend)
     sizes = shot_blocks(shots)
     seeds = np.random.SeedSequence(seed).spawn(len(sizes))
     blocks = list(zip(sizes, seeds))

@@ -7,19 +7,28 @@ detection events in bounded-memory chunks, deduplicates syndromes, and
 decodes each unique syndrome once — optionally sharded across worker
 processes.  For a fixed ``seed`` the error count is bit-identical
 regardless of ``workers`` and ``chunk_size``.
+
+:func:`prepare_decoding` exposes the expensive middle of that pipeline
+(DEM extraction + matching-graph + decoder construction) so that
+multi-circuit campaigns (``repro.vlq``) can build it once per distinct
+circuit shape and reuse it across qubits.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.decoders import MatchingGraph, make_decoder
+from repro.decoders import MatchingGraph, SyndromeDecoder, make_decoder
 from repro.dem import DetectorErrorModel
-from repro.sim.engine import DEFAULT_CHUNK_SIZE, count_logical_errors
+from repro.sim.engine import (
+    DEFAULT_CHUNK_SIZE,
+    accumulate_decode_stats,
+    count_logical_errors,
+)
 from repro.sim.stats import wilson_interval
 from repro.surface_code.extraction import MemoryCircuit
 
-__all__ = ["LogicalErrorResult", "run_memory_experiment"]
+__all__ = ["DecodingSetup", "LogicalErrorResult", "prepare_decoding", "run_memory_experiment"]
 
 
 @dataclass
@@ -28,6 +37,11 @@ class LogicalErrorResult:
 
     ``logical_error_rate`` is per shot (i.e. per ``rounds`` of error
     correction, the paper's Figure 11 normalization).
+
+    ``decode_stats`` carries the decode-tier occupancy of the run (see
+    ``repro.decoders.batch.TIER_NAMES``); it is excluded from equality
+    because the ``cached``/``full`` split depends on per-worker LRU
+    state while the *counts* are the engine's determinism contract.
     """
 
     scheme: str
@@ -38,6 +52,7 @@ class LogicalErrorResult:
     logical_errors: int
     undetectable_probability: float
     decoder: str
+    decode_stats: dict = field(default_factory=dict, compare=False)
 
     @property
     def logical_error_rate(self) -> float:
@@ -54,6 +69,34 @@ class LogicalErrorResult:
             f"p_L = {self.logical_error_rate:.2e} "
             f"[{lo:.2e}, {hi:.2e}] ({self.logical_errors}/{self.shots})"
         )
+
+
+@dataclass
+class DecodingSetup:
+    """Everything the engine needs to decode one memory circuit."""
+
+    dem: DetectorErrorModel
+    graph: MatchingGraph
+    decoder: SyndromeDecoder
+    basis_detectors: list[int]
+    basis_observables: list[int]
+
+
+def prepare_decoding(memory: MemoryCircuit, decoder: str = "unionfind") -> DecodingSetup:
+    """Build the DEM, matching graph and decoder for a memory circuit.
+
+    The expensive, reusable part of :func:`run_memory_experiment`:
+    campaigns cache the returned setup per distinct circuit shape.
+    """
+    dem = DetectorErrorModel(memory.circuit)
+    graph = MatchingGraph.from_dem(dem, memory.basis)
+    return DecodingSetup(
+        dem=dem,
+        graph=graph,
+        decoder=make_decoder(decoder, graph),
+        basis_detectors=dem.basis_detectors(memory.basis),
+        basis_observables=dem.basis_observables(memory.basis),
+    )
 
 
 def run_memory_experiment(
@@ -88,22 +131,29 @@ def run_memory_experiment(
         simulator).  Each backend has its own canonical random stream.
     decode_stats:
         Optional dict accumulating decode-tier occupancy over all chunks
-        (see :func:`repro.sim.engine.count_logical_errors`).
+        (see :func:`repro.sim.engine.count_logical_errors`).  The stats
+        are always collected and attached to the result's
+        ``decode_stats`` field (a fresh dict per run); passing a dict
+        here additionally accumulates this run's stats into it, so
+        callers can sum across several runs without aliasing any single
+        result's per-run record.
     """
-    dem = DetectorErrorModel(memory.circuit)
-    graph = MatchingGraph.from_dem(dem, memory.basis)
+    setup = prepare_decoding(memory, decoder)
+    stats: dict = {}
     errors = count_logical_errors(
         memory.circuit,
-        make_decoder(decoder, graph),
-        dem.basis_detectors(memory.basis),
-        dem.basis_observables(memory.basis),
+        setup.decoder,
+        setup.basis_detectors,
+        setup.basis_observables,
         shots,
         seed=seed,
         workers=workers,
         chunk_size=chunk_size,
         backend=backend,
-        decode_stats=decode_stats,
+        decode_stats=stats,
     )
+    if decode_stats is not None:
+        accumulate_decode_stats(decode_stats, stats)
     return LogicalErrorResult(
         scheme=memory.scheme,
         basis=memory.basis,
@@ -111,6 +161,7 @@ def run_memory_experiment(
         rounds=memory.rounds,
         shots=shots,
         logical_errors=errors,
-        undetectable_probability=graph.undetectable_probability,
+        undetectable_probability=setup.graph.undetectable_probability,
         decoder=decoder,
+        decode_stats=stats,
     )

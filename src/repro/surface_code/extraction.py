@@ -33,6 +33,7 @@ __all__ = [
     "baseline_memory_circuit",
     "emit_standard_round",
     "finish_memory_experiment",
+    "standard_round_duration",
 ]
 
 #: Corner visit order per plaquette basis (see module docstring).

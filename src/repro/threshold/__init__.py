@@ -4,6 +4,7 @@ from repro.threshold.estimator import (
     SCHEMES,
     ThresholdStudy,
     build_memory_circuit,
+    default_hardware_for,
     estimate_threshold,
 )
 from repro.threshold.sensitivity import (
@@ -20,6 +21,7 @@ __all__ = [
     "ThresholdStudy",
     "build_memory_circuit",
     "cavity_size_crossover",
+    "default_hardware_for",
     "estimate_threshold",
     "run_sensitivity_panel",
 ]

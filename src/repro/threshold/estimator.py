@@ -15,11 +15,22 @@ from typing import Sequence
 
 from repro.arch import compact_memory_circuit, natural_memory_circuit
 from repro.noise import BASELINE_HARDWARE, MEMORY_HARDWARE, ErrorModel, HardwareParams
-from repro.sim import DEFAULT_CHUNK_SIZE, LogicalErrorResult, run_memory_experiment
+from repro.sim import (
+    DEFAULT_CHUNK_SIZE,
+    LogicalErrorResult,
+    accumulate_decode_stats,
+    run_memory_experiment,
+)
 from repro.surface_code import baseline_memory_circuit
 from repro.surface_code.extraction import MemoryCircuit
 
-__all__ = ["SCHEMES", "ThresholdStudy", "build_memory_circuit", "estimate_threshold"]
+__all__ = [
+    "SCHEMES",
+    "ThresholdStudy",
+    "build_memory_circuit",
+    "default_hardware_for",
+    "estimate_threshold",
+]
 
 #: The five setups of §IV-B / Fig. 11.
 SCHEMES = (
@@ -75,6 +86,10 @@ class ThresholdStudy:
     distances: list[int]
     #: results[d][i] is the measurement at distances[d-index], p-rate i
     results: dict[int, list[LogicalErrorResult]] = field(default_factory=dict)
+    #: decode-tier occupancy summed over every point of the sweep (each
+    #: per-point breakdown stays on its result's ``decode_stats``); the
+    #: tier sum equals ``decode_stats["unique"]`` by the batch contract
+    decode_stats: dict = field(default_factory=dict)
 
     def logical_rates(self, distance: int) -> list[float]:
         return [r.logical_error_rate for r in self.results[distance]]
@@ -190,6 +205,8 @@ def estimate_threshold(
     ``workers``, ``chunk_size`` and ``backend`` are forwarded to the
     Monte-Carlo engine; the first two change runtime and memory, never
     the measured counts (``backend`` selects a canonical random stream).
+    Decode-tier occupancy is accumulated across every point onto the
+    study's ``decode_stats`` (per-point breakdowns stay on each result).
 
     The paper runs 2,000,000 trials per point; ``shots`` trades precision
     for runtime (see EXPERIMENTS.md).
@@ -228,6 +245,7 @@ def estimate_threshold(
                 chunk_size=chunk_size,
                 backend=backend,
             )
+            accumulate_decode_stats(study.decode_stats, result.decode_stats)
             row.append(result)
         study.results[d] = row
     return study

@@ -1,0 +1,37 @@
+"""Program-level noisy Monte-Carlo for virtualized logical qubits.
+
+Bridges the two halves of the reproduction that previously never met:
+the VLQ compiler (``repro.core``) that schedules logical programs onto
+a 2.5D machine, and the fast packed Monte-Carlo stack (``repro.sim``,
+``repro.decoders``) that until now only ever ran a single static memory
+patch.  The bridge is a *lowering*: each compiled per-qubit timeline
+(residence, refresh rounds, operation windows) becomes a noisy circuit
+under the Table-I error model, and the whole program runs as a
+multi-circuit campaign with per-shape lowering and decoder-graph
+caches — the paper's effective-logical-error comparison between the
+Compact 2.5D machine and the Natural layout, end to end.
+"""
+
+from repro.vlq.lowering import LoweringSpec, lower_timeline, timeline_shape
+from repro.vlq.campaign import (
+    PROGRAMS,
+    ArchitectureComparison,
+    ProgramExperimentResult,
+    QubitExperiment,
+    build_program,
+    compare_architectures,
+    run_program_experiment,
+)
+
+__all__ = [
+    "ArchitectureComparison",
+    "LoweringSpec",
+    "PROGRAMS",
+    "ProgramExperimentResult",
+    "QubitExperiment",
+    "build_program",
+    "compare_architectures",
+    "lower_timeline",
+    "run_program_experiment",
+    "timeline_shape",
+]

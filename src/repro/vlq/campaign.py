@@ -1,0 +1,380 @@
+"""Multi-circuit Monte-Carlo campaigns over compiled VLQ programs.
+
+:func:`run_program_experiment` compiles a logical program onto a 2.5D
+machine, lowers every qubit's timeline to a noisy circuit
+(:mod:`repro.vlq.lowering`), and pushes each circuit through the batched
+engine.  Work is shared aggressively across the campaign:
+
+* **lowering cache** — qubits whose timelines have the same *shape*
+  (identical segment sequences) share one lowered circuit and one
+  compiled packed sampler;
+* **decoder-graph cache** — the DEM extraction, matching graph (and its
+  ``DistanceTables``) and decoder are likewise built once per shape.
+
+Both caches are :class:`repro.decoders.BuildCache` instances with
+hit/miss accounting (the CI smoke job gates on hits > 0), and both can
+be passed in so a whole architecture sweep shares them.
+
+Determinism: qubit ``i`` (in sorted-qubit order) runs with seed
+``seed + 104729·i``; within each run the engine's SeedSequence block
+contract makes the count bit-identical for any ``workers``/
+``chunk_size``.  The whole campaign is therefore a pure function of
+``(program, machine, noise, seed)`` per backend.
+
+:func:`compare_architectures` sweeps Compact-vs-Natural machines ×
+refresh policy × code distance — the paper's architectural comparison
+expressed over whole programs instead of a single static patch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core import (
+    CompiledSchedule,
+    LogicalProgram,
+    Machine,
+    compile_program,
+)
+from repro.decoders import BuildCache
+from repro.noise import MEMORY_HARDWARE, REFERENCE_PHYSICAL_ERROR, ErrorModel
+from repro.sim import (
+    DEFAULT_CHUNK_SIZE,
+    LogicalErrorResult,
+    accumulate_decode_stats,
+    count_logical_errors,
+    make_sampler,
+    prepare_decoding,
+    wilson_interval,
+)
+from repro.vlq.lowering import LoweringSpec, lower_timeline, timeline_shape
+
+__all__ = [
+    "PROGRAMS",
+    "REFRESH_POLICIES",
+    "ArchitectureComparison",
+    "ProgramExperimentResult",
+    "QubitExperiment",
+    "build_program",
+    "compare_architectures",
+    "run_program_experiment",
+]
+
+#: Refresh policies of :func:`run_program_experiment`: ``"dram"`` keeps
+#: the compiler's inserted refresh breaks *and* lowers the background
+#: refresh rounds; ``"none"`` compiles without breaks and drops the
+#: background rounds, so stored qubits only decohere (the ablation that
+#: shows why the paper's DRAM discipline exists).
+REFRESH_POLICIES = ("dram", "none")
+
+#: Seed stride between qubits of one campaign (a prime, so per-qubit
+#: streams never collide with the engine's internal block spawning).
+_QUBIT_SEED_STRIDE = 104729
+
+#: Canned logical programs for the CLI, benchmarks and tests.
+PROGRAMS = {
+    "pairs": LogicalProgram.bell_pairs,
+    "ghz": LogicalProgram.ghz,
+}
+
+
+def build_program(name: str, qubits: int) -> LogicalProgram:
+    """Instantiate one of the canned programs by name."""
+    try:
+        factory = PROGRAMS[name]
+    except KeyError:
+        raise ValueError(f"unknown program {name!r}; options: {sorted(PROGRAMS)}")
+    return factory(qubits)
+
+
+@dataclass
+class QubitExperiment:
+    """One logical qubit's lowered circuit and Monte-Carlo outcome."""
+
+    qubit: int
+    shape: tuple
+    result: LogicalErrorResult
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.result.logical_error_rate
+
+
+@dataclass
+class ProgramExperimentResult:
+    """A compiled program's noisy Monte-Carlo outcome, per qubit and whole.
+
+    The program-level failure estimate treats the per-qubit runs as
+    independent (they are: disjoint seed streams, and the lowering
+    models each qubit's patch in isolation):
+    ``p_program = 1 − Π(1 − p_q)``.
+    """
+
+    embedding: str
+    refresh: str
+    distance: int
+    shots: int
+    policy: str
+    schedule: CompiledSchedule
+    per_qubit: list[QubitExperiment]
+    decode_stats: dict = field(default_factory=dict)
+
+    @property
+    def program_error_rate(self) -> float:
+        survival = 1.0
+        for qubit in self.per_qubit:
+            survival *= 1.0 - qubit.logical_error_rate
+        return 1.0 - survival
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        """Wilson interval on the program failure estimate.
+
+        Uses the product estimate's effective success count over
+        ``shots`` trials — exact for one qubit, and a tight
+        approximation while per-qubit rates are small (failures of
+        different qubits rarely coincide in a shot).
+        """
+        return wilson_interval(self.program_error_rate * self.shots, self.shots)
+
+    @property
+    def worst_qubit_rate(self) -> float:
+        return max(q.logical_error_rate for q in self.per_qubit)
+
+    def __str__(self) -> str:
+        lo, hi = self.confidence_interval
+        return (
+            f"{self.embedding}/{self.refresh} d={self.distance}: "
+            f"p_program = {self.program_error_rate:.2e} [{lo:.2e}, {hi:.2e}] "
+            f"({len(self.per_qubit)} qubits, {self.shots} shots/qubit)"
+        )
+
+
+def run_program_experiment(
+    program: LogicalProgram,
+    machine: Machine,
+    error_model: ErrorModel | None = None,
+    *,
+    shots: int = 2000,
+    basis: str = "Z",
+    policy: str = "auto",
+    refresh: str = "dram",
+    rounds_per_timestep: int = 1,
+    decoder: str = "unionfind",
+    seed: int | None = 0,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: str = "packed",
+    lowering_cache: BuildCache | None = None,
+    graph_cache: BuildCache | None = None,
+) -> ProgramExperimentResult:
+    """Compile, lower and Monte-Carlo one program on one machine.
+
+    Parameters mirror :func:`repro.sim.run_memory_experiment` where they
+    overlap; ``policy`` is the compiler's CNOT policy, ``refresh`` one
+    of :data:`REFRESH_POLICIES`, and the two caches (fresh ones are
+    created when omitted) may be shared across calls to reuse builds
+    between sweep points.
+    """
+    if refresh not in REFRESH_POLICIES:
+        raise ValueError(f"refresh must be one of {REFRESH_POLICIES}")
+    if error_model is None:
+        error_model = ErrorModel(
+            hardware=MEMORY_HARDWARE,
+            p=REFERENCE_PHYSICAL_ERROR,
+            scale_coherence=False,
+        )
+    lowering_cache = lowering_cache if lowering_cache is not None else BuildCache("lowering")
+    graph_cache = graph_cache if graph_cache is not None else BuildCache("decoder-graph")
+
+    schedule = compile_program(
+        program, machine, policy=policy, insert_refresh=(refresh == "dram")
+    )
+    spec = LoweringSpec(
+        distance=machine.distance,
+        embedding=machine.embedding,
+        basis=basis,
+        rounds_per_timestep=rounds_per_timestep,
+        refresh=(refresh == "dram"),
+    )
+
+    per_qubit: list[QubitExperiment] = []
+    decode_totals: dict = {}
+    for index, qubit in enumerate(sorted(schedule.residences)):
+        timeline = schedule.qubit_timeline(qubit)
+        shape = timeline_shape(timeline, spec)
+
+        def _build_lowering():
+            lowered = lower_timeline(timeline, error_model, spec)
+            return lowered, make_sampler(lowered.circuit, backend)
+
+        memory, sampler = lowering_cache.get(
+            (shape, error_model, backend), _build_lowering
+        )
+        setup = graph_cache.get(
+            (shape, error_model, decoder),
+            lambda memory=memory: prepare_decoding(memory, decoder),
+        )
+        stats: dict = {}
+        errors = count_logical_errors(
+            memory.circuit,
+            setup.decoder,
+            setup.basis_detectors,
+            setup.basis_observables,
+            shots,
+            seed=None if seed is None else seed + _QUBIT_SEED_STRIDE * index,
+            workers=workers,
+            chunk_size=chunk_size,
+            backend=backend,
+            decode_stats=stats,
+            sampler=sampler,
+        )
+        accumulate_decode_stats(decode_totals, stats)
+        per_qubit.append(
+            QubitExperiment(
+                qubit=qubit,
+                shape=shape,
+                result=LogicalErrorResult(
+                    scheme=memory.scheme,
+                    basis=memory.basis,
+                    distance=machine.distance,
+                    rounds=memory.rounds,
+                    shots=shots,
+                    logical_errors=errors,
+                    undetectable_probability=setup.graph.undetectable_probability,
+                    decoder=decoder,
+                    decode_stats=stats,
+                ),
+            )
+        )
+    return ProgramExperimentResult(
+        embedding=machine.embedding,
+        refresh=refresh,
+        distance=machine.distance,
+        shots=shots,
+        policy=policy,
+        schedule=schedule,
+        per_qubit=per_qubit,
+        decode_stats=decode_totals,
+    )
+
+
+@dataclass
+class ArchitectureComparison:
+    """A compact-vs-natural × refresh × distance sweep over one program."""
+
+    program_name: str
+    num_qubits: int
+    shots: int
+    rows: list[ProgramExperimentResult]
+    lowering_cache: BuildCache
+    graph_cache: BuildCache
+
+    def decode_totals(self) -> dict:
+        totals: dict = {}
+        for row in self.rows:
+            accumulate_decode_stats(totals, row.decode_stats)
+        return totals
+
+    def table_rows(self) -> list[tuple]:
+        """Rows for an ASCII report: one line per sweep point."""
+        out = []
+        for row in self.rows:
+            lo, hi = row.confidence_interval
+            out.append(
+                (
+                    row.embedding,
+                    row.refresh,
+                    row.distance,
+                    f"{row.program_error_rate:.2e}",
+                    f"[{lo:.2e}, {hi:.2e}]",
+                    f"{row.worst_qubit_rate:.2e}",
+                    row.schedule.total_timesteps,
+                    row.schedule.refresh_rounds,
+                    row.schedule.refresh_violations,
+                )
+            )
+        return out
+
+    TABLE_HEADERS = (
+        "embedding",
+        "refresh",
+        "d",
+        "p_program",
+        "wilson 95%",
+        "worst qubit",
+        "timesteps",
+        "bg refresh",
+        "violations",
+    )
+
+
+def compare_architectures(
+    program: LogicalProgram,
+    distances: Sequence[int] = (3,),
+    embeddings: Sequence[str] = ("compact", "natural"),
+    refresh_policies: Sequence[str] = REFRESH_POLICIES,
+    *,
+    p: float = REFERENCE_PHYSICAL_ERROR,
+    shots: int = 2000,
+    stack_grid: tuple[int, int] = (2, 2),
+    cavity_modes: int | None = None,
+    basis: str = "Z",
+    policy: str = "auto",
+    rounds_per_timestep: int = 1,
+    decoder: str = "unionfind",
+    seed: int | None = 0,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: str = "packed",
+    program_name: str = "program",
+) -> ArchitectureComparison:
+    """Run the end-to-end architecture comparison for one program.
+
+    Every (embedding, refresh policy, distance) combination gets its own
+    machine and compiled schedule, but the lowering and decoder-graph
+    caches are shared across the whole sweep, so any shape recurrence —
+    across qubits, policies or embeddings — is built exactly once.
+    """
+    modes = MEMORY_HARDWARE.cavity_modes if cavity_modes is None else cavity_modes
+    lowering_cache = BuildCache("lowering")
+    graph_cache = BuildCache("decoder-graph")
+    error_model = ErrorModel(hardware=MEMORY_HARDWARE, p=p, scale_coherence=False)
+    rows = []
+    for embedding in embeddings:
+        for refresh in refresh_policies:
+            for distance in distances:
+                machine = Machine(
+                    stack_grid=stack_grid,
+                    cavity_modes=modes,
+                    distance=distance,
+                    embedding=embedding,
+                )
+                rows.append(
+                    run_program_experiment(
+                        program,
+                        machine,
+                        error_model,
+                        shots=shots,
+                        basis=basis,
+                        policy=policy,
+                        refresh=refresh,
+                        rounds_per_timestep=rounds_per_timestep,
+                        decoder=decoder,
+                        seed=seed,
+                        workers=workers,
+                        chunk_size=chunk_size,
+                        backend=backend,
+                        lowering_cache=lowering_cache,
+                        graph_cache=graph_cache,
+                    )
+                )
+    return ArchitectureComparison(
+        program_name=program_name,
+        num_qubits=program.num_qubits,
+        shots=shots,
+        rows=rows,
+        lowering_cache=lowering_cache,
+        graph_cache=graph_cache,
+    )

@@ -1,0 +1,244 @@
+"""Lower per-qubit VLQ timelines onto noisy architecture circuits.
+
+The compiler's :class:`~repro.core.timeline.QubitTimeline` says *when* a
+logical qubit sat in its cavity mode, *when* the background DRAM-style
+refresh serviced it, and *when* it was up on the transmon layer for
+logical operations.  This module turns that record into a concrete
+noisy circuit under the §IV-A error model:
+
+* ``("rounds", n)`` windows (ALLOC/MOVE/gate timesteps — operations
+  include error correction) lower to ``n × rounds_per_timestep``
+  syndrome-extraction rounds of the machine's embedding: the standard
+  transmon round behind a load/store pair for Natural, the validated
+  10-step interleaved round (lazy load/store, merged host ancillas) for
+  Compact;
+* ``("refresh",)`` events lower to one load → extract → store round —
+  §III-D's "every logical qubit of a stack will be roughly guaranteed
+  to get a round of correction every k time steps";
+* ``("idle", n)`` windows lower to pure cavity storage: DEPOLARIZE1
+  with λ = 1 − exp(−duration/T1,c) and no correction.
+
+A final transversal logical readout is appended (the memory-experiment
+observable), and detectors/observable come from the shared
+:func:`~repro.surface_code.extraction.finish_memory_experiment` glue, so
+the lowered circuit plugs straight into the existing DEM → matching
+graph → batched engine pipeline.
+
+The clock: the paper's logical timestep is *d* rounds of correction;
+``rounds_per_timestep`` (default 1) scales that down so program-level
+sweeps stay Monte-Carlo tractable while preserving the structural
+comparison (idle windows, refresh cadence, load/store churn are all in
+the same ratio).  Set it to the code distance for the paper's clock.
+
+The lowering models *error accumulation*, not logical semantics: gate
+windows contribute their correction rounds' noise, while the logical
+effect of H/S/T/CNOT is the exact executor's job (``repro.core.executor``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.compact import emit_compact_rounds, make_compact_emitter
+from repro.arch.natural import make_natural_emitter
+from repro.core.timeline import QubitTimeline
+from repro.noise import ErrorModel
+from repro.surface_code.builder import MomentCircuitBuilder, SlotRegistry
+from repro.surface_code.extraction import MemoryCircuit, finish_memory_experiment
+from repro.surface_code.layout import RotatedSurfaceCode
+
+__all__ = ["EMBEDDINGS", "LoweringSpec", "lower_timeline", "timeline_shape"]
+
+EMBEDDINGS = ("natural", "compact")
+
+
+@dataclass(frozen=True)
+class LoweringSpec:
+    """How to turn a timeline into a circuit (hashable: a cache key part).
+
+    Parameters
+    ----------
+    distance:
+        Code distance of the lowered patch.
+    embedding:
+        ``"natural"`` or ``"compact"`` — selects the extraction-round
+        fragment and its load/store discipline.
+    basis:
+        Memory basis of the observable (``"Z"`` → logical |0⟩ memory).
+    rounds_per_timestep:
+        Extraction rounds per compiler timestep (see module docstring).
+    refresh:
+        Honor the schedule's background refresh rounds (``True``, the
+        DRAM policy) or drop them so stored qubits only decohere
+        (``False``, the no-refresh ablation).
+    """
+
+    distance: int
+    embedding: str
+    basis: str = "Z"
+    rounds_per_timestep: int = 1
+    refresh: bool = True
+
+    def __post_init__(self) -> None:
+        if self.embedding not in EMBEDDINGS:
+            raise ValueError(f"embedding must be one of {EMBEDDINGS}")
+        if self.basis not in ("X", "Z"):
+            raise ValueError("basis must be 'X' or 'Z'")
+        if self.rounds_per_timestep < 1:
+            raise ValueError("rounds_per_timestep must be >= 1")
+
+
+def timeline_shape(timeline: QubitTimeline, spec: LoweringSpec) -> tuple:
+    """Canonical shape key: equal shapes lower to identical circuits.
+
+    The key is the timeline's segment sequence (under the spec's refresh
+    policy) plus the spec itself; the campaign adds the error model (and
+    backend, for samplers) when keying its caches.
+    """
+    return (spec, timeline.segments(include_refreshes=spec.refresh))
+
+
+class _NaturalAssembler:
+    """Natural embedding: whole-patch load/store around standard rounds.
+
+    Delegates every moment fragment to the shared
+    :func:`~repro.arch.natural.make_natural_emitter`, so the lowered
+    circuits stay structurally identical to ``natural_memory_circuit``'s
+    Interleaved discipline by construction.
+    """
+
+    def __init__(self, code: RotatedSurfaceCode, builder: MomentCircuitBuilder):
+        self.emitter = make_natural_emitter(code, builder, SlotRegistry())
+
+    def step_duration(self, rounds: int) -> float:
+        return rounds * self.emitter.round_duration + self.emitter.cycle_overhead
+
+    def init(self, basis: str) -> None:
+        self.emitter.init(basis)
+        self.emitter.store_all()
+
+    def rounds(self, n: int) -> None:
+        self.emitter.load_all()
+        for _ in range(n):
+            self.emitter.round()
+        self.emitter.store_all()
+
+    def readout(self, basis: str) -> None:
+        self.emitter.load_all()
+        self.emitter.readout(basis)
+
+
+class _CompactAssembler:
+    """Compact embedding: lazy load/store inside the 10-step round."""
+
+    def __init__(self, code: RotatedSurfaceCode, builder: MomentCircuitBuilder):
+        self.code = code
+        self.builder = builder
+        self.emitter = make_compact_emitter(code, builder, SlotRegistry())
+        # Probe one round's wall-clock on a scratch builder (the lazy
+        # load pattern makes it schedule-dependent, not closed-form).
+        scratch = MomentCircuitBuilder(builder.error_model)
+        scratch_emitter = make_compact_emitter(code, scratch, SlotRegistry())
+        hw = builder.error_model.hardware
+        scratch.moment(
+            hw.t_reset, [("R", scratch_emitter.transmon[c]) for c in code.data_coords]
+        )
+        scratch_emitter.loaded = set(code.data_coords)
+        scratch_emitter.store_all()
+        start = scratch.elapsed
+        emit_compact_rounds(scratch_emitter, 1)
+        scratch_emitter.store_all()
+        self.round_duration = scratch.elapsed - start
+        self.cycle_overhead = 0.0  # load/store live inside the round
+
+    def step_duration(self, rounds: int) -> float:
+        return rounds * self.round_duration
+
+    def init(self, basis: str) -> None:
+        hw = self.builder.error_model.hardware
+        coords = self.code.data_coords
+        self.builder.moment(
+            hw.t_reset, [("R", self.emitter.transmon[c]) for c in coords]
+        )
+        if basis == "X":
+            self.builder.moment(
+                hw.t_gate_1q, [("H", self.emitter.transmon[c]) for c in coords]
+            )
+        self.emitter.loaded = set(coords)
+        self.emitter.store_all()
+
+    def rounds(self, n: int) -> None:
+        emit_compact_rounds(self.emitter, n)
+        self.emitter.store_all()
+
+    def readout(self, basis: str) -> None:
+        hw = self.builder.error_model.hardware
+        coords = self.code.data_coords
+        self.emitter.load_all()
+        if basis == "X":
+            self.builder.moment(
+                hw.t_gate_1q, [("H", self.emitter.transmon[c]) for c in coords]
+            )
+        self.builder.moment(
+            hw.t_measure,
+            [("M", self.emitter.transmon[c], ("data", c)) for c in coords],
+        )
+
+
+def lower_timeline(
+    timeline: QubitTimeline,
+    error_model: ErrorModel,
+    spec: LoweringSpec,
+) -> MemoryCircuit:
+    """Lower one qubit's timeline into a noisy memory circuit.
+
+    The circuit starts from logical initialization (the timeline's ALLOC
+    window), walks the segment sequence — extraction rounds for
+    operation windows, single rounds for background refreshes, cavity
+    idle gaps for storage — and ends with a transversal logical readout,
+    detectors and one observable.  Between any two transmon windows the
+    data is parked in its cavity modes, matching the Interleaved service
+    discipline of both embeddings.
+    """
+    hw = error_model.hardware
+    if not hw.has_memory:
+        raise ValueError("VLQ lowering requires memory hardware parameters")
+    if not timeline.ops or timeline.ops[0].name != "ALLOC":
+        raise ValueError(
+            f"q{timeline.qubit}'s timeline must begin with its ALLOC event"
+        )
+    code = RotatedSurfaceCode(spec.distance)
+    builder = MomentCircuitBuilder(error_model)
+    assembler = (
+        _CompactAssembler(code, builder)
+        if spec.embedding == "compact"
+        else _NaturalAssembler(code, builder)
+    )
+    step_duration = assembler.step_duration(spec.rounds_per_timestep)
+
+    rounds_emitted = 0
+    assembler.init(spec.basis)
+    for segment in timeline.segments(include_refreshes=spec.refresh):
+        kind = segment[0]
+        if kind == "rounds":
+            n = segment[1] * spec.rounds_per_timestep
+            assembler.rounds(n)
+            rounds_emitted += n
+        elif kind == "refresh":
+            assembler.rounds(1)
+            rounds_emitted += 1
+        elif kind == "idle":
+            builder.idle_gap(segment[1] * step_duration)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown timeline segment {segment!r}")
+    assembler.readout(spec.basis)
+    finish_memory_experiment(builder, code, spec.basis)
+    return MemoryCircuit(
+        circuit=builder.circuit,
+        code=code,
+        basis=spec.basis,
+        rounds=rounds_emitted,
+        scheme=f"vlq_{spec.embedding}",
+        duration=builder.elapsed,
+        op_counts=dict(builder.op_counts),
+    )

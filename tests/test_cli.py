@@ -47,6 +47,41 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["threshold", "--backend", "simd"])
 
+    def test_memory_prints_interval_and_tiers(self, capsys):
+        assert main([
+            "memory", "--scheme", "compact_interleaved", "--distance", "3",
+            "--shots", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p_L" in out and "[" in out  # Wilson interval brackets
+        assert "decode tiers:" in out and "trivial=" in out
+        assert "tier accounting balances" in out
+
+    def test_memory_reference_backend(self, capsys):
+        assert main([
+            "memory", "--scheme", "baseline", "--shots", "100",
+            "--backend", "reference",
+        ]) == 0
+        assert "p_L" in capsys.readouterr().out
+
+    def test_compare_prints_program_estimates_and_caches(self, capsys):
+        assert main([
+            "compare", "--distance", "3", "--shots", "128", "--qubits", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "compact" in out and "natural" in out
+        assert "p_program" in out and "wilson 95%" in out
+        assert "lowering cache:" in out and "decoder-graph cache:" in out
+        assert "tier accounting balances" in out
+
+    def test_compare_single_embedding_and_policy(self, capsys):
+        assert main([
+            "compare", "--shots", "64", "--qubits", "2",
+            "--embedding", "natural", "--refresh", "dram",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "natural" in out and "compact" not in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -153,6 +153,25 @@ class TestRefresh:
             scheduler.note_operation([0, 1])
         assert scheduler.violations == []
 
+    def test_refresh_history_matches_counts(self):
+        _, scheduler = self.make(k=4, qubits=3)
+        for _ in range(20):
+            scheduler.tick()
+        for q in range(3):
+            assert len(scheduler.refresh_times[q]) == scheduler.refresh_counts[q]
+            assert scheduler.refresh_times[q] == sorted(scheduler.refresh_times[q])
+
+    def test_untrack_preserves_refresh_history(self):
+        manager, scheduler = self.make(k=4, qubits=2)
+        for _ in range(5):
+            scheduler.tick()
+        history = list(scheduler.refresh_times[0])
+        assert history
+        scheduler.untrack(0)
+        scheduler.tick()
+        assert scheduler.refresh_times[0] == history  # frozen, not dropped
+        assert 0 not in scheduler.last_refresh
+
 
 class TestCompiler:
     def test_colocated_cnot_is_transversal(self):

@@ -93,6 +93,24 @@ class TestDeterminism:
         with pytest.raises(ValueError):
             run_memory_experiment(memory, shots=100, backend="simd")
 
+    def test_decode_stats_accumulator_does_not_alias_results(self):
+        """A shared accumulator sums across runs; each result keeps its
+        own per-run stats (regression: the accumulator used to be
+        attached to every result, so later runs corrupted earlier ones)."""
+        memory = _memory()
+        accumulator: dict = {}
+        first = run_memory_experiment(
+            memory, shots=200, seed=0, decode_stats=accumulator
+        )
+        second = run_memory_experiment(
+            memory, shots=300, seed=1, decode_stats=accumulator
+        )
+        assert first.decode_stats["shots"] == 200
+        assert second.decode_stats["shots"] == 300
+        assert accumulator["shots"] == 500
+        assert first.decode_stats is not accumulator
+        assert second.decode_stats is not accumulator
+
 
 class TestPackObservables:
     def test_packs_low_bits(self):

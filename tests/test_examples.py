@@ -48,3 +48,6 @@ def test_virtualized_program():
     assert "transversal" in out
     assert "all equal => GHZ" in out
     assert "<X X X> = 1" in out
+    assert "program-level noisy Monte-Carlo" in out
+    assert "compact" in out and "natural" in out
+    assert "cache hits" in out

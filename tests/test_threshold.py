@@ -192,3 +192,32 @@ class TestEndToEnd:
             "cavity_size", distances=[3], xs=[5.0, 20.0], shots=200, seed=5
         )
         assert len(panel.rates[3]) == 2
+
+    def test_threshold_study_exposes_decode_stats(self):
+        from repro.decoders import TIER_NAMES
+
+        study = estimate_threshold(
+            "baseline",
+            physical_error_rates=[2e-3, 5e-3],
+            distances=[3],
+            shots=400,
+            seed=9,
+        )
+        stats = study.decode_stats
+        assert stats["shots"] == 2 * 400
+        assert sum(stats[t] for t in TIER_NAMES) == stats["unique"]
+        # per-point stats ride on each result and sum to the aggregate
+        per_point = [r.decode_stats for row in study.results.values() for r in row]
+        assert sum(s["unique"] for s in per_point) == stats["unique"]
+        for s in per_point:
+            assert sum(s[t] for t in TIER_NAMES) == s["unique"]
+
+    def test_sensitivity_panel_exposes_decode_stats(self):
+        from repro.decoders import TIER_NAMES
+
+        panel = run_sensitivity_panel(
+            "sc_sc_error", distances=[3], xs=[1e-3, 4e-3], shots=300, seed=2
+        )
+        stats = panel.decode_stats
+        assert stats["shots"] == 2 * 300
+        assert sum(stats[t] for t in TIER_NAMES) == stats["unique"]
