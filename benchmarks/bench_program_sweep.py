@@ -10,12 +10,24 @@ program — compact vs natural × DRAM-refresh vs none — and records, in a
   decoder-graph build per distinct timeline shape across the sweep),
 - the aggregate decode-tier occupancy.
 
+Two companion sweeps ride along:
+
+- ``program_correlated`` — the same program under ``correlated=True``:
+  lattice-surgery pairs lowered as merged-patch circuits and decoded
+  jointly, recorded side by side with the independence product;
+- ``paper_clock`` — one full-shot sweep per embedding at the paper's
+  clock (``rounds_per_timestep = d`` extraction rounds per timestep),
+  checking the default-clock compact-vs-natural ordering survives.
+
 Gates (CI smoke runs these at reduced shots):
 
 - both shape caches must report **hits > 0** — the sweep's sharing
   contract; a key regression would silently rebuild per qubit,
+- in the correlated sweep the **joint-shape caches** must report
+  hits > 0 too (symmetric pairs share one merged circuit build),
 - decode-tier accounting must sum to the unique-syndrome count,
-- per-backend determinism: ``workers`` must never change the counts.
+- per-backend determinism: ``workers`` must never change the counts,
+- the paper clock must preserve the default clock's embedding ordering.
 """
 
 import os
@@ -136,3 +148,182 @@ def test_program_sweep(once):
     print("tiers " + "/".join(str(totals[t]) for t in TIER_NAMES)
           + f" of {totals['unique']} unique")
     print(f"wrote program_sweep section of {BENCH_JSON}")
+
+
+def test_correlated_sweep(once):
+    """Independent-vs-joint estimates with merged surgery windows."""
+    n = shots(2000)
+    w = workers(1)
+    program = LogicalProgram.bell_pairs(4)
+
+    def measure():
+        start = time.perf_counter()
+        comparison = compare_architectures(
+            program,
+            distances=DISTANCES,
+            refresh_policies=("dram",),
+            p=P,
+            shots=n,
+            seed=0,
+            workers=w,
+            policy="surgery_only",
+            correlated=True,
+            program_name="pairs",
+        )
+        elapsed = time.perf_counter() - start
+        return comparison, elapsed
+
+    comparison, elapsed = once(measure)
+
+    # --- gates -----------------------------------------------------------
+    joint = comparison.joint_cache.stats()
+    joint_graph = comparison.joint_graph_cache.stats()
+    assert joint["hits"] > 0, f"joint-shape cache never hit: {joint}"
+    assert joint_graph["hits"] > 0, f"joint-graph cache never hit: {joint_graph}"
+    totals = comparison.decode_totals()
+    assert sum(totals[t] for t in TIER_NAMES) == totals["unique"], totals
+    for row in comparison.rows:
+        assert row.pieces is not None and row.uncovered_windows == 0
+        assert all(len(piece.qubits) == 2 for piece in row.pieces)
+
+    # Workers must never change a correlated campaign's counts.
+    resharded = compare_architectures(
+        program,
+        distances=DISTANCES,
+        embeddings=("compact",),
+        refresh_policies=("dram",),
+        p=P,
+        shots=n,
+        seed=0,
+        workers=1 if w != 1 else 2,
+        chunk_size=1024,
+        policy="surgery_only",
+        correlated=True,
+        certify_joint=False,  # certified above; shapes are identical
+    )
+    baseline_row = next(r for r in comparison.rows if r.embedding == "compact")
+    for a, b in zip(baseline_row.pieces, resharded.rows[0].pieces):
+        assert a.result.logical_errors == b.result.logical_errors, a.qubits
+
+    # --- record ----------------------------------------------------------
+    payload = {
+        "p": P,
+        "program": "pairs",
+        "qubits": 4,
+        "shots_per_qubit": n,
+        "workers": w,
+        "policy": "surgery_only",
+        "elapsed_seconds": elapsed,
+        "rows": [
+            {
+                "embedding": row.embedding,
+                "refresh": row.refresh,
+                "distance": row.distance,
+                "independent_program_error_rate": row.program_error_rate,
+                "joint_program_error_rate": row.joint_program_error_rate,
+                "pieces": [
+                    {
+                        "qubits": list(piece.qubits),
+                        "windows": piece.windows,
+                        "logical_errors": piece.result.logical_errors,
+                    }
+                    for piece in row.pieces
+                ],
+            }
+            for row in comparison.rows
+        ],
+        "joint_cache": joint,
+        "joint_graph_cache": joint_graph,
+    }
+    merge_bench_json(BENCH_JSON, {"program_correlated": payload})
+
+    print()
+    print(ascii_table(
+        ArchitectureComparison.CORRELATED_TABLE_HEADERS,
+        comparison.correlated_table_rows(),
+        title=(
+            f"Correlated sweep: pairs(4), p={P}, {n} shots/qubit "
+            f"(surgery windows merged, one decode per pair)"
+        ),
+    ))
+    print(f"joint-lowering cache: {joint['entries']} shapes, {joint['hits']} hits; "
+          f"joint-graph cache: {joint_graph['entries']} shapes, "
+          f"{joint_graph['hits']} hits")
+    print(f"wrote program_correlated section of {BENCH_JSON}")
+
+
+def test_paper_clock_sweep(once):
+    """One paper-clock sweep per embedding (rounds_per_timestep = d).
+
+    The paper's logical timestep is d rounds of correction; the default
+    campaign clock scales that to 1 round/timestep to keep sweeps fast.
+    This records the full-clock numbers and gates that the architectural
+    ordering (which embedding loses more) is the same on both clocks.
+    """
+    n = shots(1000)
+    w = workers(1)
+    program = LogicalProgram.bell_pairs(4)
+    (distance,) = DISTANCES
+
+    def measure():
+        results = {}
+        for rpt in (1, distance):
+            start = time.perf_counter()
+            comparison = compare_architectures(
+                program,
+                distances=DISTANCES,
+                refresh_policies=("dram",),
+                p=P,
+                shots=n,
+                seed=0,
+                workers=w,
+                rounds_per_timestep=rpt,
+                program_name="pairs",
+            )
+            results[rpt] = (comparison, time.perf_counter() - start)
+        return results
+
+    results = once(measure)
+
+    rates = {
+        rpt: {row.embedding: row.program_error_rate for row in comparison.rows}
+        for rpt, (comparison, _) in results.items()
+    }
+    # --- gate: the default-clock ordering holds at the paper clock -------
+    default_order = rates[1]["compact"] >= rates[1]["natural"]
+    paper_order = rates[distance]["compact"] >= rates[distance]["natural"]
+    assert default_order == paper_order, rates
+
+    payload = {
+        "p": P,
+        "program": "pairs",
+        "qubits": 4,
+        "shots_per_qubit": n,
+        "distance": distance,
+        "clocks": {
+            str(rpt): {
+                "rounds_per_timestep": rpt,
+                "elapsed_seconds": elapsed,
+                "rows": [
+                    {
+                        "embedding": row.embedding,
+                        "refresh": row.refresh,
+                        "program_error_rate": row.program_error_rate,
+                        "worst_qubit_rate": row.worst_qubit_rate,
+                    }
+                    for row in comparison.rows
+                ],
+            }
+            for rpt, (comparison, elapsed) in results.items()
+        },
+    }
+    merge_bench_json(BENCH_JSON, {"paper_clock": payload})
+
+    print()
+    for rpt, (comparison, elapsed) in results.items():
+        label = "default clock" if rpt == 1 else f"paper clock (d={distance})"
+        print(f"{label}: " + ", ".join(
+            f"{row.embedding} p_program={row.program_error_rate:.3e}"
+            for row in comparison.rows
+        ) + f" ({elapsed:.1f}s)")
+    print(f"wrote paper_clock section of {BENCH_JSON}")

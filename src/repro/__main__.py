@@ -5,9 +5,13 @@ Commands
 ``tables``      print Table I and Table II reproductions
 ``magic``       print the Fig. 13 factory comparison
 ``inventory``   print hardware inventories for a machine configuration
-``threshold``   run a quick threshold sweep for one scheme
+``threshold``   run a quick threshold sweep for one scheme, or for a whole
+                program with ``--program`` (``--correlated`` sweeps the
+                joint merged-window estimate)
 ``memory``      run one logical-memory Monte-Carlo point
-``compare``     program-level compact-vs-natural architecture comparison
+``compare``     program-level compact-vs-natural architecture comparison;
+                ``--correlated`` adds merged-patch joint decoding of the
+                lattice-surgery pairs and an independent-vs-joint report
 """
 
 from __future__ import annotations
@@ -104,17 +108,59 @@ def _cmd_inventory(args) -> None:
 def _cmd_threshold(args) -> None:
     from repro.report import format_series
     from repro.sim import DEFAULT_CHUNK_SIZE
-    from repro.threshold import estimate_threshold
+    from repro.threshold import estimate_program_threshold, estimate_threshold
 
     ps = [2e-3, 4e-3, 6e-3, 9e-3, 1.3e-2]
+    chunk_size = DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size
+    program_flags = (
+        ("--qubits", args.qubits),
+        ("--embedding", args.embedding),
+        ("--refresh", args.refresh),
+        ("--correlated", args.correlated or None),
+    )
+    if args.program is not None:
+        if args.scheme is not None:
+            raise ValueError("--scheme and --program are mutually exclusive")
+        from repro.vlq import build_program
+
+        qubits = 4 if args.qubits is None else args.qubits
+        study = estimate_program_threshold(
+            build_program(args.program, qubits),
+            physical_error_rates=ps,
+            distances=(3, 5),
+            embedding=args.embedding or "compact",
+            refresh=args.refresh or "dram",
+            shots=args.shots,
+            correlated=args.correlated,
+            policy="surgery_only" if args.correlated else "auto",
+            decoder=args.decoder,
+            workers=args.workers,
+            chunk_size=chunk_size,
+            backend=args.backend,
+            program_name=args.program,
+        )
+        series = {f"d={d}": study.rates[d] for d in study.distances}
+        print(format_series(
+            ps, series, xlabel="p",
+            title=(f"program: {args.program}({qubits}) "
+                   f"{study.embedding}/{study.refresh}"
+                   f"{' correlated' if study.correlated else ''}"),
+        ))
+        threshold = study.threshold_estimate()
+        print("program threshold estimate:",
+              "not bracketed" if threshold is None else f"{threshold:.4f}")
+        return
+    for flag, value in program_flags:
+        if value is not None:
+            raise ValueError(f"{flag} requires --program")
     study = estimate_threshold(
-        args.scheme,
+        args.scheme or "baseline",
         physical_error_rates=ps,
         distances=(3, 5),
         shots=args.shots,
         decoder=args.decoder,
         workers=args.workers,
-        chunk_size=DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size,
+        chunk_size=chunk_size,
         backend=args.backend,
     )
     series = {f"d={d}": study.logical_rates(d) for d in sorted(study.results)}
@@ -165,6 +211,10 @@ def _cmd_compare(args) -> None:
     program = build_program(args.program, args.qubits)
     embeddings = ("compact", "natural") if args.embedding == "both" else (args.embedding,)
     refreshes = ("dram", "none") if args.refresh == "both" else (args.refresh,)
+    # Correlated mode exists to model surgery windows; unless the user
+    # pins a policy, force every CNOT onto the lattice-surgery path so
+    # there is a joint error surface to measure.
+    policy = args.policy or ("surgery_only" if args.correlated else "auto")
     comparison = compare_architectures(
         program,
         distances=tuple(args.distance),
@@ -173,6 +223,7 @@ def _cmd_compare(args) -> None:
         p=args.p,
         shots=args.shots,
         stack_grid=(args.grid, args.grid),
+        policy=policy,
         rounds_per_timestep=args.rounds_per_timestep,
         decoder=args.decoder,
         seed=args.seed,
@@ -180,20 +231,36 @@ def _cmd_compare(args) -> None:
         chunk_size=DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size,
         backend=args.backend,
         program_name=args.program,
+        correlated=args.correlated,
     )
     print(ascii_table(
         ArchitectureComparison.TABLE_HEADERS,
         comparison.table_rows(),
         title=(
             f"Program-level comparison: {args.program}({args.qubits}), "
-            f"p={args.p:g}, {args.shots} shots/qubit, backend={args.backend}"
+            f"p={args.p:g}, {args.shots} shots/qubit, policy={policy}, "
+            f"backend={args.backend}"
         ),
     ))
+    if args.correlated:
+        print()
+        print(ascii_table(
+            ArchitectureComparison.CORRELATED_TABLE_HEADERS,
+            comparison.correlated_table_rows(),
+            title="Independent vs joint (merged surgery windows, one decode per pair)",
+        ))
     print()
     for row in comparison.rows:
         for qubit in row.per_qubit:
             print(f"  {row.embedding}/{row.refresh} d={row.distance} "
                   f"q{qubit.qubit}: {qubit.result}")
+        if row.pieces is not None:
+            for piece in row.pieces:
+                if len(piece.qubits) != 2:
+                    continue
+                label = ",".join(f"q{q}" for q in piece.qubits)
+                print(f"  {row.embedding}/{row.refresh} d={row.distance} "
+                      f"joint {label} ({piece.windows} window(s)): {piece.result}")
     print()
     lowering = comparison.lowering_cache.stats()
     graph = comparison.graph_cache.stats()
@@ -201,6 +268,15 @@ def _cmd_compare(args) -> None:
           f"{lowering['hits']} hits, {lowering['misses']} misses")
     print(f"decoder-graph cache: {graph['entries']} shapes, "
           f"{graph['hits']} hits, {graph['misses']} misses")
+    if args.correlated:
+        joint = comparison.joint_cache.stats()
+        joint_graph = comparison.joint_graph_cache.stats()
+        print(f"joint-lowering cache: {joint['entries']} shapes, "
+              f"{joint['hits']} hits, {joint['misses']} misses")
+        print(f"joint-graph cache: {joint_graph['entries']} shapes, "
+              f"{joint_graph['hits']} hits, {joint_graph['misses']} misses")
+        print(f"joint lowerings certified deterministic on the exact "
+              f"stabilizer simulator: {joint['misses']} shape(s)")
     totals = comparison.decode_totals()
     print(_tier_summary(totals))
     balanced = sum(totals.get(t, 0) for t in TIER_NAMES) == totals.get("unique", 0)
@@ -220,8 +296,24 @@ def main(argv: list[str] | None = None) -> int:
     inventory.add_argument("--embedding", choices=("natural", "compact"),
                            default="compact")
     threshold = sub.add_parser("threshold")
-    threshold.add_argument("--scheme", default="baseline")
+    threshold.add_argument("--scheme", default=None,
+                           help="single-patch scheme (default: baseline; "
+                                "mutually exclusive with --program)")
     threshold.add_argument("--shots", type=int, default=500)
+    threshold.add_argument("--program", choices=("pairs", "ghz", "t"), default=None,
+                           help="estimate a PROGRAM-level threshold (p where "
+                                "growing d stops helping the whole program) "
+                                "instead of a single-patch scheme")
+    threshold.add_argument("--qubits", type=int, default=None,
+                           help="program size for --program (default 4)")
+    threshold.add_argument("--embedding", choices=("compact", "natural"),
+                           default=None,
+                           help="machine for --program (default compact)")
+    threshold.add_argument("--refresh", choices=("dram", "none"), default=None,
+                           help="refresh policy for --program (default dram)")
+    threshold.add_argument("--correlated", action="store_true",
+                           help="with --program: sweep the joint (merged "
+                                "surgery window) p_program")
     _add_engine_args(threshold)
 
     memory = sub.add_parser(
@@ -242,8 +334,18 @@ def main(argv: list[str] | None = None) -> int:
     compare = sub.add_parser(
         "compare", help="program-level compact-vs-natural architecture comparison"
     )
-    compare.add_argument("--program", choices=("pairs", "ghz"), default="pairs")
+    compare.add_argument("--program", choices=("pairs", "ghz", "t"), default="pairs")
     compare.add_argument("--qubits", type=int, default=4)
+    compare.add_argument("--correlated", action="store_true",
+                         help="additionally lower lattice-surgery pairs as "
+                              "merged-patch circuits with one joint decode "
+                              "and report independent vs joint p_program "
+                              "(defaults the CNOT policy to surgery_only)")
+    compare.add_argument("--policy",
+                         choices=("auto", "surgery_only", "transversal_preferred"),
+                         default=None,
+                         help="compiler CNOT policy (default: auto, or "
+                              "surgery_only when --correlated)")
     compare.add_argument("--distance", type=int, nargs="+", default=[3])
     compare.add_argument("--p", type=float, default=2e-3)
     compare.add_argument("--shots", type=int, default=2000,

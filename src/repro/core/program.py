@@ -132,6 +132,34 @@ class LogicalProgram:
         return program
 
     @staticmethod
+    def t_teleport(n: int) -> "LogicalProgram":
+        """n/2 magic-state consumption round-trips on n qubits (n even).
+
+        Each data qubit (even id) Hadamards, consumes a distilled |T⟩
+        (the compiler's surgery-style interaction with the factory,
+        §III-B/Fig. 13), runs the teleportation CNOT onto its ancilla
+        partner, consumes a second |T⟩ on the way back, and the ancilla
+        is measured away — the minimal program that exercises the
+        T/consume path end to end so ``compare`` can score magic-state
+        consumption without modelling the full Fig. 13 distillation.
+        """
+        if n < 2 or n % 2:
+            raise ValueError("t_teleport needs an even number of qubits >= 2")
+        program = LogicalProgram()
+        program.alloc(*range(n))
+        for i in range(0, n, 2):
+            program.h(i)
+        for i in range(0, n, 2):
+            program.t(i)
+        for i in range(0, n, 2):
+            program.cnot(i, i + 1)
+        for i in range(0, n, 2):
+            program.t(i)
+        for i in range(0, n, 2):
+            program.measure_z(i + 1)
+        return program
+
+    @staticmethod
     def bell_pairs(n: int) -> "LogicalProgram":
         """n/2 independent Bell pairs on n qubits (n even).
 

@@ -100,7 +100,39 @@ class QubitTimeline:
         the refresh rounds are dropped and their timesteps rejoin the
         surrounding idle windows (the "no refresh" ablation).
         """
-        out: list[tuple] = []
+        (only,) = self.phased_segments((), include_refreshes=include_refreshes)
+        return only
+
+    def phased_segments(
+        self,
+        windows: tuple[tuple[int, int], ...],
+        include_refreshes: bool = True,
+    ) -> tuple[tuple[tuple, ...], ...]:
+        """Segment sequences split into phases around surgery windows.
+
+        ``windows`` is a sorted tuple of ``(start, end)`` timestep spans,
+        each of which must coincide exactly with one of this qubit's
+        scheduled operations (a lattice-surgery CNOT window).  The
+        qubit's life is cut at those spans into ``len(windows) + 1``
+        phase tuples with the same segment grammar as :meth:`segments`;
+        the window operations themselves are *excluded* (the joint
+        lowering emits merged extraction rounds for them).  All windows
+        must precede any terminal MEASURE, and no background refresh may
+        fall inside a window (the stack is busy with the surgery).
+        """
+        windows = tuple(sorted((int(s), int(e)) for s, e in windows))
+        for (_, e0), (s1, _) in zip(windows, windows[1:]):
+            if s1 < e0:
+                raise ValueError("surgery windows overlap")
+        for s, e in windows:
+            for t in self.refreshes:
+                if s <= t < e:
+                    raise ValueError(
+                        f"q{self.qubit}: background refresh at t={t} falls "
+                        f"inside surgery window [{s}, {e})"
+                    )
+        out: list[list[tuple]] = [[]]
+        pending = list(windows)
         refreshes = sorted(self.refreshes)
 
         def add_gap(a: int, b: int) -> None:
@@ -110,11 +142,19 @@ class QubitTimeline:
                     if t < a or t >= b:
                         continue
                     if t > cursor:
-                        out.append(("idle", t - cursor))
-                    out.append(("refresh",))
+                        out[-1].append(("idle", t - cursor))
+                    out[-1].append(("refresh",))
                     cursor = t + 1
             if b > cursor:
-                out.append(("idle", b - cursor))
+                out[-1].append(("idle", b - cursor))
+
+        def finish() -> tuple[tuple[tuple, ...], ...]:
+            if pending:
+                raise ValueError(
+                    f"q{self.qubit}: windows {pending} match no scheduled "
+                    "operation of this timeline"
+                )
+            return tuple(tuple(phase) for phase in out)
 
         cursor: int | None = None
         for op in self.ops:
@@ -124,13 +164,17 @@ class QubitTimeline:
                 add_gap(cursor, op.start)
                 cursor = op.start
             if op.name in ("MEASURE_Z", "MEASURE_X"):
-                return tuple(out)  # readout is the lowering's job
-            if op.duration > 0:
-                if out and out[-1][0] == "rounds":
-                    out[-1] = ("rounds", out[-1][1] + op.duration)
+                return finish()  # readout is the lowering's job
+            if pending and (op.start, op.end) == pending[0]:
+                pending.pop(0)
+                out.append([])  # the window separates two phases
+            elif op.duration > 0:
+                last = out[-1]
+                if last and last[-1][0] == "rounds":
+                    last[-1] = ("rounds", last[-1][1] + op.duration)
                 else:
-                    out.append(("rounds", op.duration))
+                    last.append(("rounds", op.duration))
             cursor = max(cursor, op.end)
         if cursor is not None and cursor < self.total_timesteps:
             add_gap(cursor, self.total_timesteps)
-        return tuple(out)
+        return finish()

@@ -7,6 +7,10 @@ from repro.threshold.estimator import (
     default_hardware_for,
     estimate_threshold,
 )
+from repro.threshold.program import (
+    ProgramThresholdStudy,
+    estimate_program_threshold,
+)
 from repro.threshold.sensitivity import (
     SENSITIVITY_PANELS,
     SensitivityPanel,
@@ -17,11 +21,13 @@ from repro.threshold.sensitivity import (
 __all__ = [
     "SCHEMES",
     "SENSITIVITY_PANELS",
+    "ProgramThresholdStudy",
     "SensitivityPanel",
     "ThresholdStudy",
     "build_memory_circuit",
     "cavity_size_crossover",
     "default_hardware_for",
+    "estimate_program_threshold",
     "estimate_threshold",
     "run_sensitivity_panel",
 ]

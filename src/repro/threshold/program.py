@@ -1,0 +1,130 @@
+"""Program-level threshold estimation (ROADMAP: "threshold sweeps over
+programs").
+
+:func:`estimate_threshold` sweeps a *single static patch*; a compiled
+program is a different object — per-qubit timelines with idle windows,
+refresh rounds and (in correlated mode) merged surgery windows.  The
+program threshold is the physical error rate at which growing the code
+distance stops helping the *whole program*: below it the program-level
+failure ``p_program`` falls with d, above it rises.  This driver sweeps
+:func:`repro.vlq.compare_architectures` over p × d for one (embedding,
+refresh policy) and locates the crossing with the same log-log
+interpolation the patch-level estimator uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core import LogicalProgram
+from repro.sim import DEFAULT_CHUNK_SIZE
+from repro.threshold.estimator import _crossing
+from repro.vlq import compare_architectures
+
+__all__ = ["ProgramThresholdStudy", "estimate_program_threshold"]
+
+
+@dataclass
+class ProgramThresholdStudy:
+    """Results of one program's threshold sweep."""
+
+    program_name: str
+    embedding: str
+    refresh: str
+    correlated: bool
+    physical_error_rates: list[float]
+    distances: list[int]
+    #: rates[d][i] is p_program at ``physical_error_rates[i]``
+    rates: dict[int, list[float]] = field(default_factory=dict)
+    shots: int = 0
+
+    def threshold_estimate(self) -> float | None:
+        """Average crossing of consecutive-distance ``p_program`` curves.
+
+        Returns None when no crossing is bracketed by the sweep.
+        """
+        crossings = []
+        ds = sorted(self.distances)
+        for d1, d2 in zip(ds, ds[1:]):
+            crossing = _crossing(
+                self.physical_error_rates,
+                self.rates[d1],
+                self.rates[d2],
+                min_rate=0.5 / max(self.shots, 1),
+            )
+            if crossing is not None:
+                crossings.append(crossing)
+        if not crossings:
+            return None
+        return math.exp(sum(math.log(c) for c in crossings) / len(crossings))
+
+    def rows(self) -> list[tuple]:
+        """Table rows: p, then one ``p_program`` column per distance."""
+        return [
+            (p, *[self.rates[d][i] for d in self.distances])
+            for i, p in enumerate(self.physical_error_rates)
+        ]
+
+
+def estimate_program_threshold(
+    program: LogicalProgram,
+    physical_error_rates: Sequence[float],
+    distances: Sequence[int] = (3, 5),
+    embedding: str = "compact",
+    refresh: str = "dram",
+    *,
+    shots: int = 2000,
+    correlated: bool = False,
+    policy: str = "auto",
+    stack_grid: tuple[int, int] = (2, 2),
+    decoder: str = "unionfind",
+    seed: int | None = 0,
+    workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    backend: str = "packed",
+    program_name: str = "program",
+) -> ProgramThresholdStudy:
+    """Sweep p × d for one program and return the full study.
+
+    A thin driver over :func:`repro.vlq.compare_architectures`: one
+    sweep point per physical error rate, all distances in one campaign
+    so the lowering/decoder caches are shared within a point.  With
+    ``correlated=True`` the swept quantity is the joint (merged-window)
+    ``p_program`` instead of the independence product.
+    """
+    study = ProgramThresholdStudy(
+        program_name=program_name,
+        embedding=embedding,
+        refresh=refresh,
+        correlated=correlated,
+        physical_error_rates=list(physical_error_rates),
+        distances=list(distances),
+        rates={d: [] for d in distances},
+        shots=shots,
+    )
+    for i, p in enumerate(physical_error_rates):
+        comparison = compare_architectures(
+            program,
+            distances=tuple(distances),
+            embeddings=(embedding,),
+            refresh_policies=(refresh,),
+            p=p,
+            shots=shots,
+            stack_grid=stack_grid,
+            policy=policy,
+            decoder=decoder,
+            seed=None if seed is None else seed + 9973 * i,
+            workers=workers,
+            chunk_size=chunk_size,
+            backend=backend,
+            program_name=program_name,
+            correlated=correlated,
+        )
+        for row in comparison.rows:
+            rate = (
+                row.joint_program_error_rate if correlated else row.program_error_rate
+            )
+            study.rates[row.distance].append(rate)
+    return study

@@ -13,9 +13,21 @@ Compact 2.5D machine and the Natural layout, end to end.
 """
 
 from repro.vlq.lowering import LoweringSpec, lower_timeline, timeline_shape
+from repro.vlq.surgery import (
+    JointCertificationError,
+    JointLoweringSpec,
+    JointMemoryCircuit,
+    MergedPatchLayout,
+    SurgeryPartition,
+    certify_joint_deterministic,
+    joint_shape,
+    lower_joint_timelines,
+    partition_surgery,
+)
 from repro.vlq.campaign import (
     PROGRAMS,
     ArchitectureComparison,
+    PieceExperiment,
     ProgramExperimentResult,
     QubitExperiment,
     build_program,
@@ -25,13 +37,23 @@ from repro.vlq.campaign import (
 
 __all__ = [
     "ArchitectureComparison",
+    "JointCertificationError",
+    "JointLoweringSpec",
+    "JointMemoryCircuit",
     "LoweringSpec",
+    "MergedPatchLayout",
     "PROGRAMS",
+    "PieceExperiment",
     "ProgramExperimentResult",
     "QubitExperiment",
+    "SurgeryPartition",
     "build_program",
+    "certify_joint_deterministic",
     "compare_architectures",
+    "joint_shape",
+    "lower_joint_timelines",
     "lower_timeline",
+    "partition_surgery",
     "run_program_experiment",
     "timeline_shape",
 ]

@@ -21,6 +21,19 @@ contract makes the count bit-identical for any ``workers``/
 ``chunk_size``.  The whole campaign is therefore a pure function of
 ``(program, machine, noise, seed)`` per backend.
 
+Correlated mode (``correlated=True``) additionally partitions the
+program's qubits into *pieces* along the schedule's lattice-surgery
+CNOTs: each surgery-coupled pair lowers to a single merged-patch
+circuit (:mod:`repro.vlq.surgery`) decoded jointly over both operands'
+observables, so ``p_program`` no longer assumes the operands of a
+surgery fail independently.  Joint circuits/samplers and decoder setups
+get their own shape caches (the CI bench gates on their hits), joint
+pieces run with seeds ``seed + 15485863·(pair index + 1)`` — disjoint
+from the per-qubit streams, so the independent estimates stay
+bit-identical with the uncorrelated mode — and each distinct joint
+shape is certified deterministic on the exact stabilizer simulator
+before any noisy shots are drawn.
+
 :func:`compare_architectures` sweeps Compact-vs-Natural machines ×
 refresh policy × code distance — the paper's architectural comparison
 expressed over whole programs instead of a single static patch.
@@ -49,11 +62,19 @@ from repro.sim import (
     wilson_interval,
 )
 from repro.vlq.lowering import LoweringSpec, lower_timeline, timeline_shape
+from repro.vlq.surgery import (
+    JointLoweringSpec,
+    certify_joint_deterministic,
+    joint_shape,
+    lower_joint_timelines,
+    partition_surgery,
+)
 
 __all__ = [
     "PROGRAMS",
     "REFRESH_POLICIES",
     "ArchitectureComparison",
+    "PieceExperiment",
     "ProgramExperimentResult",
     "QubitExperiment",
     "build_program",
@@ -72,10 +93,16 @@ REFRESH_POLICIES = ("dram", "none")
 #: streams never collide with the engine's internal block spawning).
 _QUBIT_SEED_STRIDE = 104729
 
+#: Seed stride between joint pieces (a larger prime with an offset, so
+#: pair streams are disjoint from the per-qubit streams and the
+#: independent estimates stay bit-identical with uncorrelated runs).
+_PAIR_SEED_STRIDE = 15485863
+
 #: Canned logical programs for the CLI, benchmarks and tests.
 PROGRAMS = {
     "pairs": LogicalProgram.bell_pairs,
     "ghz": LogicalProgram.ghz,
+    "t": LogicalProgram.t_teleport,
 }
 
 
@@ -102,6 +129,26 @@ class QubitExperiment:
 
 
 @dataclass
+class PieceExperiment:
+    """One circuit piece of a correlated campaign.
+
+    A piece is either a single qubit (its independent memory run doubles
+    as the piece outcome) or a lattice-surgery pair decoded jointly over
+    the merged-patch circuit — ``logical_errors`` then counts shots
+    where *either* operand's observable was mispredicted.
+    """
+
+    qubits: tuple[int, ...]
+    windows: int
+    shape: tuple
+    result: LogicalErrorResult
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.result.logical_error_rate
+
+
+@dataclass
 class ProgramExperimentResult:
     """A compiled program's noisy Monte-Carlo outcome, per qubit and whole.
 
@@ -109,6 +156,12 @@ class ProgramExperimentResult:
     independent (they are: disjoint seed streams, and the lowering
     models each qubit's patch in isolation):
     ``p_program = 1 − Π(1 − p_q)``.
+
+    A correlated run additionally carries ``pieces`` — surgery-coupled
+    pairs decoded jointly on merged-patch circuits plus the remaining
+    single qubits — and ``joint_program_error_rate`` combines *those*
+    (pieces are genuinely independent: disjoint circuits and seed
+    streams), capturing the correlation the per-qubit product cannot.
     """
 
     embedding: str
@@ -119,6 +172,8 @@ class ProgramExperimentResult:
     schedule: CompiledSchedule
     per_qubit: list[QubitExperiment]
     decode_stats: dict = field(default_factory=dict)
+    pieces: list[PieceExperiment] | None = None
+    uncovered_windows: int = 0
 
     @property
     def program_error_rate(self) -> float:
@@ -126,6 +181,24 @@ class ProgramExperimentResult:
         for qubit in self.per_qubit:
             survival *= 1.0 - qubit.logical_error_rate
         return 1.0 - survival
+
+    @property
+    def correlated(self) -> bool:
+        return self.pieces is not None
+
+    @property
+    def joint_program_error_rate(self) -> float:
+        """``1 − Π(1 − p_piece)`` over the correlated pieces."""
+        if self.pieces is None:
+            raise ValueError("not a correlated run (pieces were not computed)")
+        survival = 1.0
+        for piece in self.pieces:
+            survival *= 1.0 - piece.logical_error_rate
+        return 1.0 - survival
+
+    @property
+    def joint_confidence_interval(self) -> tuple[float, float]:
+        return wilson_interval(self.joint_program_error_rate * self.shots, self.shots)
 
     @property
     def confidence_interval(self) -> tuple[float, float]:
@@ -144,11 +217,14 @@ class ProgramExperimentResult:
 
     def __str__(self) -> str:
         lo, hi = self.confidence_interval
-        return (
+        text = (
             f"{self.embedding}/{self.refresh} d={self.distance}: "
             f"p_program = {self.program_error_rate:.2e} [{lo:.2e}, {hi:.2e}] "
             f"({len(self.per_qubit)} qubits, {self.shots} shots/qubit)"
         )
+        if self.pieces is not None:
+            text += f", joint p_program = {self.joint_program_error_rate:.2e}"
+        return text
 
 
 def run_program_experiment(
@@ -168,14 +244,28 @@ def run_program_experiment(
     backend: str = "packed",
     lowering_cache: BuildCache | None = None,
     graph_cache: BuildCache | None = None,
+    correlated: bool = False,
+    window_noise_scale: float = 1.0,
+    certify_joint: bool = True,
+    joint_cache: BuildCache | None = None,
+    joint_graph_cache: BuildCache | None = None,
 ) -> ProgramExperimentResult:
     """Compile, lower and Monte-Carlo one program on one machine.
 
     Parameters mirror :func:`repro.sim.run_memory_experiment` where they
     overlap; ``policy`` is the compiler's CNOT policy, ``refresh`` one
-    of :data:`REFRESH_POLICIES`, and the two caches (fresh ones are
-    created when omitted) may be shared across calls to reuse builds
-    between sweep points.
+    of :data:`REFRESH_POLICIES`, and the caches (fresh ones are created
+    when omitted) may be shared across calls to reuse builds between
+    sweep points.
+
+    With ``correlated=True`` the schedule's lattice-surgery pairs are
+    additionally lowered as merged-patch circuits and decoded jointly
+    (see the module docstring); ``certify_joint`` runs the exact
+    stabilizer-simulator determinism certificate once per distinct joint
+    shape, and ``window_noise_scale`` scales the §IV-A channels inside
+    the merged windows only (0.0 is the factorization limit the tests
+    pin).  Surgery components of three or more qubits fall back to
+    independent pieces and are reported via ``uncovered_windows``.
     """
     if refresh not in REFRESH_POLICIES:
         raise ValueError(f"refresh must be one of {REFRESH_POLICIES}")
@@ -187,6 +277,10 @@ def run_program_experiment(
         )
     lowering_cache = lowering_cache if lowering_cache is not None else BuildCache("lowering")
     graph_cache = graph_cache if graph_cache is not None else BuildCache("decoder-graph")
+    joint_cache = joint_cache if joint_cache is not None else BuildCache("joint-lowering")
+    joint_graph_cache = (
+        joint_graph_cache if joint_graph_cache is not None else BuildCache("joint-graph")
+    )
 
     schedule = compile_program(
         program, machine, policy=policy, insert_refresh=(refresh == "dram")
@@ -248,6 +342,83 @@ def run_program_experiment(
                 ),
             )
         )
+    pieces: list[PieceExperiment] | None = None
+    uncovered_windows = 0
+    if correlated:
+        jspec = JointLoweringSpec(
+            distance=machine.distance,
+            embedding=machine.embedding,
+            basis=basis,
+            rounds_per_timestep=rounds_per_timestep,
+            refresh=(refresh == "dram"),
+            window_noise_scale=window_noise_scale,
+        )
+        partition = partition_surgery(schedule)
+        uncovered_windows = partition.uncovered_windows
+        pieces = []
+        for index, ((qa, qb), spans) in enumerate(partition.pairs):
+            ta = schedule.qubit_timeline(qa)
+            tb = schedule.qubit_timeline(qb)
+            shape = joint_shape(ta, tb, spans, jspec)
+
+            def _build_joint():
+                lowered = lower_joint_timelines(ta, tb, spans, error_model, jspec)
+                if certify_joint:
+                    certify_joint_deterministic(lowered)
+                return lowered, make_sampler(lowered.circuit, backend)
+
+            memory, sampler = joint_cache.get(
+                (shape, error_model, backend), _build_joint
+            )
+            setup = joint_graph_cache.get(
+                (shape, error_model, decoder),
+                lambda memory=memory: prepare_decoding(memory, decoder),
+            )
+            stats = {}
+            errors = count_logical_errors(
+                memory.circuit,
+                setup.decoder,
+                setup.basis_detectors,
+                setup.basis_observables,
+                shots,
+                seed=None if seed is None else seed + _PAIR_SEED_STRIDE * (index + 1),
+                workers=workers,
+                chunk_size=chunk_size,
+                backend=backend,
+                decode_stats=stats,
+                sampler=sampler,
+            )
+            accumulate_decode_stats(decode_totals, stats)
+            pieces.append(
+                PieceExperiment(
+                    qubits=(qa, qb),
+                    windows=len(spans),
+                    shape=shape,
+                    result=LogicalErrorResult(
+                        scheme=memory.scheme,
+                        basis=memory.basis,
+                        distance=machine.distance,
+                        rounds=memory.rounds,
+                        shots=shots,
+                        logical_errors=errors,
+                        undetectable_probability=setup.graph.undetectable_probability,
+                        decoder=decoder,
+                        decode_stats=stats,
+                    ),
+                )
+            )
+        paired = partition.paired_qubits
+        for qubit in per_qubit:
+            if qubit.qubit not in paired:
+                pieces.append(
+                    PieceExperiment(
+                        qubits=(qubit.qubit,),
+                        windows=0,
+                        shape=qubit.shape,
+                        result=qubit.result,
+                    )
+                )
+        pieces.sort(key=lambda piece: piece.qubits)
     return ProgramExperimentResult(
         embedding=machine.embedding,
         refresh=refresh,
@@ -257,6 +428,8 @@ def run_program_experiment(
         schedule=schedule,
         per_qubit=per_qubit,
         decode_stats=decode_totals,
+        pieces=pieces,
+        uncovered_windows=uncovered_windows,
     )
 
 
@@ -270,6 +443,8 @@ class ArchitectureComparison:
     rows: list[ProgramExperimentResult]
     lowering_cache: BuildCache
     graph_cache: BuildCache
+    joint_cache: BuildCache | None = None
+    joint_graph_cache: BuildCache | None = None
 
     def decode_totals(self) -> dict:
         totals: dict = {}
@@ -309,6 +484,45 @@ class ArchitectureComparison:
         "violations",
     )
 
+    def correlated_table_rows(self) -> list[tuple]:
+        """Side-by-side independent-vs-joint rows (correlated sweeps)."""
+        out = []
+        for row in self.rows:
+            if row.pieces is None:
+                raise ValueError("sweep was not run with correlated=True")
+            independent = row.program_error_rate
+            joint = row.joint_program_error_rate
+            lo, hi = row.joint_confidence_interval
+            pairs = sum(1 for piece in row.pieces if len(piece.qubits) == 2)
+            out.append(
+                (
+                    row.embedding,
+                    row.refresh,
+                    row.distance,
+                    f"{independent:.2e}",
+                    f"{joint:.2e}",
+                    f"[{lo:.2e}, {hi:.2e}]",
+                    f"{joint - independent:+.2e}",
+                    f"{pairs}+{len(row.pieces) - pairs}",
+                    sum(piece.windows for piece in row.pieces),
+                    row.uncovered_windows,
+                )
+            )
+        return out
+
+    CORRELATED_TABLE_HEADERS = (
+        "embedding",
+        "refresh",
+        "d",
+        "independent",
+        "joint",
+        "joint wilson 95%",
+        "delta",
+        "pieces (2q+1q)",
+        "windows",
+        "uncovered",
+    )
+
 
 def compare_architectures(
     program: LogicalProgram,
@@ -329,17 +543,23 @@ def compare_architectures(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     backend: str = "packed",
     program_name: str = "program",
+    correlated: bool = False,
+    window_noise_scale: float = 1.0,
+    certify_joint: bool = True,
 ) -> ArchitectureComparison:
     """Run the end-to-end architecture comparison for one program.
 
     Every (embedding, refresh policy, distance) combination gets its own
     machine and compiled schedule, but the lowering and decoder-graph
-    caches are shared across the whole sweep, so any shape recurrence —
-    across qubits, policies or embeddings — is built exactly once.
+    caches (and, in correlated mode, the joint-shape caches) are shared
+    across the whole sweep, so any shape recurrence — across qubits,
+    pairs, policies or embeddings — is built exactly once.
     """
     modes = MEMORY_HARDWARE.cavity_modes if cavity_modes is None else cavity_modes
     lowering_cache = BuildCache("lowering")
     graph_cache = BuildCache("decoder-graph")
+    joint_cache = BuildCache("joint-lowering") if correlated else None
+    joint_graph_cache = BuildCache("joint-graph") if correlated else None
     error_model = ErrorModel(hardware=MEMORY_HARDWARE, p=p, scale_coherence=False)
     rows = []
     for embedding in embeddings:
@@ -368,6 +588,11 @@ def compare_architectures(
                         backend=backend,
                         lowering_cache=lowering_cache,
                         graph_cache=graph_cache,
+                        correlated=correlated,
+                        window_noise_scale=window_noise_scale,
+                        certify_joint=certify_joint,
+                        joint_cache=joint_cache,
+                        joint_graph_cache=joint_graph_cache,
                     )
                 )
     return ArchitectureComparison(
@@ -377,4 +602,6 @@ def compare_architectures(
         rows=rows,
         lowering_cache=lowering_cache,
         graph_cache=graph_cache,
+        joint_cache=joint_cache,
+        joint_graph_cache=joint_graph_cache,
     )

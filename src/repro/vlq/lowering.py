@@ -47,7 +47,14 @@ from repro.surface_code.builder import MomentCircuitBuilder, SlotRegistry
 from repro.surface_code.extraction import MemoryCircuit, finish_memory_experiment
 from repro.surface_code.layout import RotatedSurfaceCode
 
-__all__ = ["EMBEDDINGS", "LoweringSpec", "lower_timeline", "timeline_shape"]
+__all__ = [
+    "EMBEDDINGS",
+    "LoweringSpec",
+    "emit_timeline_segments",
+    "lower_timeline",
+    "make_assembler",
+    "timeline_shape",
+]
 
 EMBEDDINGS = ("natural", "compact")
 
@@ -107,8 +114,15 @@ class _NaturalAssembler:
     Interleaved discipline by construction.
     """
 
-    def __init__(self, code: RotatedSurfaceCode, builder: MomentCircuitBuilder):
-        self.emitter = make_natural_emitter(code, builder, SlotRegistry())
+    def __init__(
+        self,
+        code: RotatedSurfaceCode,
+        builder: MomentCircuitBuilder,
+        registry: SlotRegistry | None = None,
+    ):
+        self.emitter = make_natural_emitter(
+            code, builder, registry if registry is not None else SlotRegistry()
+        )
 
     def step_duration(self, rounds: int) -> float:
         return rounds * self.emitter.round_duration + self.emitter.cycle_overhead
@@ -131,10 +145,17 @@ class _NaturalAssembler:
 class _CompactAssembler:
     """Compact embedding: lazy load/store inside the 10-step round."""
 
-    def __init__(self, code: RotatedSurfaceCode, builder: MomentCircuitBuilder):
+    def __init__(
+        self,
+        code: RotatedSurfaceCode,
+        builder: MomentCircuitBuilder,
+        registry: SlotRegistry | None = None,
+    ):
         self.code = code
         self.builder = builder
-        self.emitter = make_compact_emitter(code, builder, SlotRegistry())
+        self.emitter = make_compact_emitter(
+            code, builder, registry if registry is not None else SlotRegistry()
+        )
         # Probe one round's wall-clock on a scratch builder (the lazy
         # load pattern makes it schedule-dependent, not closed-form).
         scratch = MomentCircuitBuilder(builder.error_model)
@@ -185,6 +206,55 @@ class _CompactAssembler:
         )
 
 
+def make_assembler(
+    embedding: str,
+    code: RotatedSurfaceCode,
+    builder: MomentCircuitBuilder,
+    registry: SlotRegistry | None = None,
+):
+    """An embedding's round assembler over a (possibly shared) registry.
+
+    The joint-window lowering (``repro.vlq.surgery``) drives one
+    assembler per sub-patch against a single shared builder/registry;
+    the single-qubit :func:`lower_timeline` uses a private pair.
+    """
+    if embedding == "compact":
+        return _CompactAssembler(code, builder, registry)
+    if embedding == "natural":
+        return _NaturalAssembler(code, builder, registry)
+    raise ValueError(f"embedding must be one of {EMBEDDINGS}")
+
+
+def emit_timeline_segments(
+    assembler,
+    builder: MomentCircuitBuilder,
+    segments,
+    spec: LoweringSpec,
+) -> int:
+    """Emit one segment sequence through an assembler; returns the
+    number of extraction rounds produced.
+
+    Shared between the single-qubit lowering (whole timeline) and the
+    joint-window lowering (one inter-window phase at a time).
+    """
+    step_duration = assembler.step_duration(spec.rounds_per_timestep)
+    rounds_emitted = 0
+    for segment in segments:
+        kind = segment[0]
+        if kind == "rounds":
+            n = segment[1] * spec.rounds_per_timestep
+            assembler.rounds(n)
+            rounds_emitted += n
+        elif kind == "refresh":
+            assembler.rounds(1)
+            rounds_emitted += 1
+        elif kind == "idle":
+            builder.idle_gap(segment[1] * step_duration)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown timeline segment {segment!r}")
+    return rounds_emitted
+
+
 def lower_timeline(
     timeline: QubitTimeline,
     error_model: ErrorModel,
@@ -209,28 +279,12 @@ def lower_timeline(
         )
     code = RotatedSurfaceCode(spec.distance)
     builder = MomentCircuitBuilder(error_model)
-    assembler = (
-        _CompactAssembler(code, builder)
-        if spec.embedding == "compact"
-        else _NaturalAssembler(code, builder)
-    )
-    step_duration = assembler.step_duration(spec.rounds_per_timestep)
+    assembler = make_assembler(spec.embedding, code, builder)
 
-    rounds_emitted = 0
     assembler.init(spec.basis)
-    for segment in timeline.segments(include_refreshes=spec.refresh):
-        kind = segment[0]
-        if kind == "rounds":
-            n = segment[1] * spec.rounds_per_timestep
-            assembler.rounds(n)
-            rounds_emitted += n
-        elif kind == "refresh":
-            assembler.rounds(1)
-            rounds_emitted += 1
-        elif kind == "idle":
-            builder.idle_gap(segment[1] * step_duration)
-        else:  # pragma: no cover
-            raise ValueError(f"unknown timeline segment {segment!r}")
+    rounds_emitted = emit_timeline_segments(
+        assembler, builder, timeline.segments(include_refreshes=spec.refresh), spec
+    )
     assembler.readout(spec.basis)
     finish_memory_experiment(builder, code, spec.basis)
     return MemoryCircuit(

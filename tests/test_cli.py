@@ -82,6 +82,46 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "natural" in out and "compact" not in out
 
+    def test_compare_correlated_reports_joint_estimates(self, capsys):
+        assert main([
+            "compare", "--correlated", "--distance", "3", "--shots", "128",
+            "--qubits", "2", "--embedding", "natural", "--refresh", "dram",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "policy=surgery_only" in out  # --correlated defaults the policy
+        assert "Independent vs joint" in out
+        assert "joint q0,q1" in out
+        assert "joint-lowering cache:" in out
+        assert "certified deterministic" in out
+        assert "tier accounting balances" in out
+
+    def test_compare_correlated_respects_explicit_policy(self, capsys):
+        assert main([
+            "compare", "--correlated", "--policy", "auto", "--shots", "64",
+            "--qubits", "2", "--embedding", "natural", "--refresh", "dram",
+        ]) == 0
+        out = capsys.readouterr().out
+        # co-located pair compiles transversally: no joint pieces exist
+        assert "policy=auto" in out
+        assert "joint q0,q1" not in out
+
+    def test_compare_t_teleport_program(self, capsys):
+        assert main([
+            "compare", "--program", "t", "--qubits", "2", "--shots", "64",
+            "--embedding", "natural", "--refresh", "dram",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "t(2)" in out
+
+    def test_threshold_program_mode(self, capsys):
+        assert main([
+            "threshold", "--program", "pairs", "--qubits", "2",
+            "--shots", "40", "--embedding", "natural",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "program: pairs(2) natural/dram" in out
+        assert "program threshold estimate" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
