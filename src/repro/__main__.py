@@ -12,6 +12,14 @@ Commands
 ``compare``     program-level compact-vs-natural architecture comparison;
                 ``--correlated`` adds merged-patch joint decoding of the
                 lattice-surgery pairs and an independent-vs-joint report
+``lint``        static analysis of the preset matrix: symbolic GF(2)
+                determinism proofs of every lowered circuit shape,
+                schedule dataflow checks and decoder-graph validation
+                (``--json`` for machine-readable output; exit code 1 on
+                any error-severity finding)
+
+Every subcommand exits non-zero when a gate it checks fails (tier
+accounting mismatch, lint errors, failed certification).
 """
 
 from __future__ import annotations
@@ -45,7 +53,7 @@ def _tier_summary(stats: dict) -> str:
     )
 
 
-def _cmd_tables(_args) -> None:
+def _cmd_tables(_args) -> int:
     from repro.noise import BASELINE_HARDWARE, MEMORY_HARDWARE
     from repro.magic import qubit_cost_table
     from repro.report import ascii_table
@@ -61,9 +69,10 @@ def _cmd_tables(_args) -> None:
         [c.row() for c in qubit_cost_table(distance=5, cavity_modes=10)],
         title="Table II: T-factory qubit costs (d=5, k=10)",
     ))
+    return 0
 
 
-def _cmd_magic(_args) -> None:
+def _cmd_magic(_args) -> int:
     from repro.magic import (
         FAST_LATTICE,
         PROTOCOLS,
@@ -86,9 +95,10 @@ def _cmd_magic(_args) -> None:
     ))
     print(f"VQubits speedups: {speedup_over(VQUBITS, SMALL_LATTICE):.2f}x vs "
           f"Small, {speedup_over(VQUBITS, FAST_LATTICE):.2f}x vs Fast")
+    return 0
 
 
-def _cmd_inventory(args) -> None:
+def _cmd_inventory(args) -> int:
     from repro.core import Machine
 
     machine = Machine(
@@ -103,9 +113,10 @@ def _cmd_inventory(args) -> None:
     print(f"  transmons        : {machine.total_transmons}")
     print(f"  cavities         : {machine.total_cavities}")
     print(f"  total qubits     : {machine.total_qubits}")
+    return 0
 
 
-def _cmd_threshold(args) -> None:
+def _cmd_threshold(args) -> int:
     from repro.report import format_series
     from repro.sim import DEFAULT_CHUNK_SIZE
     from repro.threshold import estimate_program_threshold, estimate_threshold
@@ -149,7 +160,7 @@ def _cmd_threshold(args) -> None:
         threshold = study.threshold_estimate()
         print("program threshold estimate:",
               "not bracketed" if threshold is None else f"{threshold:.4f}")
-        return
+        return 0
     for flag, value in program_flags:
         if value is not None:
             raise ValueError(f"{flag} requires --program")
@@ -168,9 +179,10 @@ def _cmd_threshold(args) -> None:
     threshold = study.threshold_estimate()
     print("threshold estimate:",
           "not bracketed" if threshold is None else f"{threshold:.4f}")
+    return 0
 
 
-def _cmd_memory(args) -> None:
+def _cmd_memory(args) -> int:
     from repro.decoders import TIER_NAMES
     from repro.noise import ErrorModel
     from repro.sim import DEFAULT_CHUNK_SIZE, run_memory_experiment
@@ -200,9 +212,10 @@ def _cmd_memory(args) -> None:
     balanced = sum(stats.get(t, 0) for t in TIER_NAMES) == stats.get("unique", 0)
     print(f"tier accounting {'balances' if balanced else 'MISMATCH'} "
           "(sum of tiers vs unique syndromes)")
+    return 0 if balanced else 1
 
 
-def _cmd_compare(args) -> None:
+def _cmd_compare(args) -> int:
     from repro.decoders import TIER_NAMES
     from repro.report import ascii_table
     from repro.sim import DEFAULT_CHUNK_SIZE
@@ -232,6 +245,7 @@ def _cmd_compare(args) -> None:
         backend=args.backend,
         program_name=args.program,
         correlated=args.correlated,
+        oracle_cert=args.oracle_cert,
     )
     print(ascii_table(
         ArchitectureComparison.TABLE_HEADERS,
@@ -275,13 +289,36 @@ def _cmd_compare(args) -> None:
               f"{joint['hits']} hits, {joint['misses']} misses")
         print(f"joint-graph cache: {joint_graph['entries']} shapes, "
               f"{joint_graph['hits']} hits, {joint_graph['misses']} misses")
-        print(f"joint lowerings certified deterministic on the exact "
-              f"stabilizer simulator: {joint['misses']} shape(s)")
+        oracle = " (+ tableau oracle)" if args.oracle_cert else ""
+        print(f"joint lowerings proven deterministic by symbolic GF(2) "
+              f"propagation{oracle}: {joint['misses']} shape(s)")
     totals = comparison.decode_totals()
     print(_tier_summary(totals))
     balanced = sum(totals.get(t, 0) for t in TIER_NAMES) == totals.get("unique", 0)
     print(f"tier accounting {'balances' if balanced else 'MISMATCH'} "
           "(sum of tiers vs unique syndromes)")
+    return 0 if balanced else 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.analyze import lint_matrix
+
+    report = lint_matrix(
+        programs=tuple(args.programs),
+        qubits=args.qubits,
+        distances=tuple(args.distance),
+        embeddings=(
+            ("natural", "compact") if args.embedding == "both" else (args.embedding,)
+        ),
+        oracle=args.oracle_cert,
+    )
+    output = report.to_json() if args.json else report.format_text()
+    print(output)
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -362,18 +399,41 @@ def main(argv: list[str] | None = None) -> int:
                          help="extraction rounds per compiler timestep (the "
                               "paper's clock is d; 1 keeps sweeps fast)")
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--oracle-cert", action="store_true",
+                         help="cross-check the symbolic determinism proofs "
+                              "against the sampled stabilizer-tableau oracle")
     _add_engine_args(compare)
 
+    lint = sub.add_parser(
+        "lint", help="static analysis of the preset matrix (symbolic GF(2) "
+                     "proofs, schedule dataflow checks, decoder-graph "
+                     "validation); exits 1 on any error-severity finding"
+    )
+    lint.add_argument("--programs", nargs="+", choices=("pairs", "ghz", "t"),
+                      default=["ghz", "pairs", "t"],
+                      help="program presets to lint")
+    lint.add_argument("--qubits", type=int, default=4)
+    lint.add_argument("--distance", type=int, nargs="+", default=[3])
+    lint.add_argument("--embedding", choices=("both", "compact", "natural"),
+                      default="both")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the report as JSON instead of text")
+    lint.add_argument("--out", default=None,
+                      help="also write the JSON report to this path")
+    lint.add_argument("--oracle-cert", action="store_true",
+                      help="cross-check every symbolic proof against the "
+                           "sampled stabilizer-tableau oracle")
+
     args = parser.parse_args(argv)
-    {
+    return {
         "tables": _cmd_tables,
         "magic": _cmd_magic,
         "inventory": _cmd_inventory,
         "threshold": _cmd_threshold,
         "memory": _cmd_memory,
         "compare": _cmd_compare,
+        "lint": _cmd_lint,
     }[args.command](args)
-    return 0
 
 
 if __name__ == "__main__":

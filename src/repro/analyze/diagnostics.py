@@ -1,0 +1,127 @@
+"""Structured diagnostics shared by every static-analysis pass.
+
+Each finding is a :class:`Diagnostic` — a stable machine-readable code,
+a severity, a human-locatable ``location`` string and a message — so the
+``repro lint`` CLI can render the same findings as text or JSON and the
+CI gate can count error-severity findings without parsing prose.
+
+Diagnostic codes
+----------------
+========  ==============================================================
+SYM001    detector/observable is not deterministic (randomness reaches it)
+SYM002    detector/observable has deterministic value 1 (fires noiselessly)
+SYM003    detector/observable depends on a qubit's initial state
+SCH001    stack residency exceeds the cavity capacity
+SCH002    address collision (overlapping events on a stack, double-booked
+          qubit, or overlapping residences)
+SCH003    refresh deadline unserviceable (static starvation)
+SCH004    idle/wall-clock accounting mismatch
+SCH005    static refresh audit disagrees with the compiler's replay audit
+GRF001    detector node cannot reach the boundary
+GRF002    non-positive edge weight (probability outside (0, 0.5))
+GRF003    union-find CSR/list mirrors inconsistent with the graph
+GRF004    DEM error mechanism not covered by the decoding graph
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["CODES", "SEVERITIES", "Diagnostic", "LintReport"]
+
+SEVERITIES = ("error", "warning", "info")
+
+#: code -> one-line description (the table rendered by ``repro lint --help-codes``
+#: and EXPERIMENTS.md; tests assert mutations map onto these exact codes).
+CODES = {
+    "SYM001": "non-deterministic detector or observable",
+    "SYM002": "detector or observable fires on the noiseless circuit",
+    "SYM003": "detector or observable depends on an initial state",
+    "SCH001": "stack residency exceeds cavity capacity",
+    "SCH002": "address collision in the schedule",
+    "SCH003": "unserviceable refresh deadline",
+    "SCH004": "idle/wall-clock accounting mismatch",
+    "SCH005": "static refresh audit disagrees with the replay audit",
+    "GRF001": "detector node cannot reach the boundary",
+    "GRF002": "non-positive decoding-graph edge weight",
+    "GRF003": "union-find CSR/list mirrors inconsistent",
+    "GRF004": "DEM error mechanism not covered by the graph",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding."""
+
+    code: str
+    severity: str
+    location: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}")
+
+    def __str__(self) -> str:
+        return f"{self.severity.upper():7s} {self.code} [{self.location}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """Aggregated findings plus coverage counters of one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: what was actually checked, e.g. {"schedules": 8, "circuit_shapes": 5}
+    checked: dict[str, int] = field(default_factory=dict)
+
+    def extend(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def count(self, what: str, n: int = 1) -> None:
+        self.checked[what] = self.checked.get(what, 0) + n
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was produced."""
+        return not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "checked": dict(self.checked),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def format_text(self) -> str:
+        lines = [str(d) for d in self.diagnostics]
+        coverage = ", ".join(f"{k}={v}" for k, v in sorted(self.checked.items()))
+        lines.append(
+            f"lint: {len(self.errors)} error(s), {len(self.warnings)} "
+            f"warning(s) ({coverage})"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""Static dataflow analysis of compiled schedules.
+
+The compiler's refresh audit is a *dynamic replay*: it drives the actual
+:class:`~repro.core.refresh.RefreshScheduler` over the event stream and
+reports what happened.  This analyzer recomputes the same facts
+*statically* from the schedule's first-class per-qubit record
+(``residences``, ``refresh_times``, event stream) and cross-checks the
+two, so a bug in either bookkeeping path surfaces as a diagnostic
+instead of a silently wrong Monte-Carlo campaign:
+
+* **SCH001** — a stack hosts more residents than it has cavity modes;
+* **SCH002** — address collisions: overlapping events on one stack, a
+  qubit scheduled in two events at once, overlapping residences of one
+  qubit, or a background refresh inside one of its op windows;
+* **SCH003** — a stored qubit *statically* misses the k-timestep
+  refresh deadline (§III-D), reporting the violating qubit, the first
+  violating timestep and the deadline — including the structural
+  starvation class found in PR 4, where an indivisible event longer
+  than the deadline (a 6-timestep surgery CNOT on a shallow ``k < 6``
+  stack) makes the deadline unserviceable by *any* scheduler;
+* **SCH004** — idle/wall-clock accounting mismatches: the makespan
+  disagrees with the events, residences have gaps, or a timeline's
+  segment durations do not sum to its life span;
+* **SCH005** — the static violation count disagrees with the replay
+  audit's ``refresh_violations`` (one of the two bookkeepings is wrong).
+"""
+
+from __future__ import annotations
+
+from repro.analyze.diagnostics import Diagnostic
+from repro.core.compiler import CompiledSchedule
+
+__all__ = ["lint_schedule", "static_refresh_violations"]
+
+
+def _overlap_pairs(intervals):
+    """Yield (a, b) for overlapping half-open intervals, sorted by start."""
+    ordered = sorted(intervals, key=lambda iv: (iv[0], iv[1]))
+    for prev, cur in zip(ordered, ordered[1:]):
+        if cur[0] < prev[1]:
+            yield prev, cur
+
+
+def static_refresh_violations(
+    schedule: CompiledSchedule,
+) -> list[tuple[int, int, int, int]]:
+    """Statically recompute refresh-deadline violations per qubit.
+
+    Returns ``(qubit, first_violation_timestep, max_staleness, deadline)``
+    tuples.  Service points mirror the replay audit exactly: a qubit is
+    fresh when tracking starts (its first residence), serviced at
+    ``t + 1`` by a background refresh at timestep ``t``, and serviced at
+    ``op.end`` by each of its scheduled operations.
+    """
+    deadline = schedule.machine.cavity_modes
+    found = []
+    for qubit, gaps in _service_gaps(schedule):
+        worst = 0
+        first = None
+        for a, b in gaps:
+            worst = max(worst, b - a)
+            if b - a > deadline and first is None:
+                first = a + deadline + 1
+        if first is not None:
+            found.append((qubit, first, worst, deadline))
+    return found
+
+
+def _service_gaps(schedule: CompiledSchedule):
+    """Yield ``(qubit, [(service, last_checked), ...])`` per qubit.
+
+    ``last_checked`` is the final timestep at which the replay audit
+    still observes the gap's staleness, so ``last_checked - service`` is
+    the maximum staleness the audit sees in that gap.  A background
+    refresh runs *before* the audit's staleness check within a tick
+    (staleness is already reset when checked), whereas an op-end service
+    lands *after* it — so refresh-terminated gaps are last checked one
+    tick earlier than op-terminated ones.
+    """
+    for qubit in sorted(schedule.residences):
+        intervals = schedule.residences[qubit]
+        start, end = intervals[0].start, intervals[-1].end
+        refreshes = {t + 1 for t in schedule.refresh_times.get(qubit, ())}
+        services = {start} | refreshes
+        services.update(
+            e.end for e in schedule.events if qubit in e.qubits and e.end <= end
+        )
+        points = sorted(s for s in services if start <= s <= end)
+        yield qubit, [
+            (a, min(b - 1 if b in refreshes else b, end))
+            for a, b in zip(points, points[1:] + [end])
+        ]
+
+
+def _static_violation_ticks(schedule: CompiledSchedule) -> int:
+    """Total violating (qubit, timestep) pairs, the replay's count unit."""
+    deadline = schedule.machine.cavity_modes
+    return sum(
+        max(0, b - a - deadline)
+        for _, gaps in _service_gaps(schedule)
+        for a, b in gaps
+    )
+
+
+def lint_schedule(
+    schedule: CompiledSchedule, location: str = "schedule"
+) -> list[Diagnostic]:
+    """Run every static schedule check; returns the findings."""
+    machine = schedule.machine
+    diagnostics: list[Diagnostic] = []
+
+    def add(code: str, where: str, message: str, severity: str = "error") -> None:
+        diagnostics.append(Diagnostic(code, severity, f"{location}:{where}", message))
+
+    # --- SCH004: makespan vs events --------------------------------
+    last_end = max((e.end for e in schedule.events), default=0)
+    if schedule.total_timesteps != last_end:
+        add(
+            "SCH004",
+            "makespan",
+            f"total_timesteps={schedule.total_timesteps} but events end at "
+            f"{last_end}",
+        )
+
+    # --- SCH002: overlapping events per stack / per qubit ----------
+    by_stack: dict[tuple[int, int], list[tuple[int, int, str]]] = {}
+    by_qubit: dict[int, list[tuple[int, int, str]]] = {}
+    for e in schedule.events:
+        if e.duration <= 0:
+            continue
+        # A surgery CNOT between co-located qubits names its stack twice;
+        # occupancy is per distinct stack.
+        for s in set(e.stacks):
+            by_stack.setdefault(s, []).append((e.start, e.end, e.name))
+        for q in e.qubits:
+            by_qubit.setdefault(q, []).append((e.start, e.end, e.name))
+    for stack, intervals in sorted(by_stack.items()):
+        for prev, cur in _overlap_pairs(intervals):
+            add(
+                "SCH002",
+                f"stack{stack}",
+                f"events overlap on stack {stack}: {prev[2]} [{prev[0]}, "
+                f"{prev[1]}) and {cur[2]} [{cur[0]}, {cur[1]})",
+            )
+    for qubit, intervals in sorted(by_qubit.items()):
+        for prev, cur in _overlap_pairs(intervals):
+            add(
+                "SCH002",
+                f"q{qubit}",
+                f"q{qubit} is double-booked: {prev[2]} [{prev[0]}, {prev[1]}) "
+                f"and {cur[2]} [{cur[0]}, {cur[1]})",
+            )
+
+    # --- SCH001/SCH002/SCH004: residences --------------------------
+    capacity = machine.cavity_modes
+    stack_loads: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+    for qubit in sorted(schedule.residences):
+        intervals = schedule.residences[qubit]
+        for prev, cur in zip(intervals, intervals[1:]):
+            if cur.start < prev.end:
+                add(
+                    "SCH002",
+                    f"q{qubit}",
+                    f"q{qubit} resides in two cavities at once: "
+                    f"{prev.stack} [{prev.start}, {prev.end}) and "
+                    f"{cur.stack} [{cur.start}, {cur.end})",
+                )
+            elif cur.start > prev.end:
+                add(
+                    "SCH004",
+                    f"q{qubit}",
+                    f"q{qubit}'s residence has a gap: nowhere to live in "
+                    f"[{prev.end}, {cur.start})",
+                )
+        for iv in intervals:
+            if iv.start < 0 or iv.end > schedule.total_timesteps or iv.start > iv.end:
+                add(
+                    "SCH004",
+                    f"q{qubit}",
+                    f"q{qubit} residence [{iv.start}, {iv.end}) outside the "
+                    f"schedule's [0, {schedule.total_timesteps}) span",
+                )
+            stack_loads.setdefault(iv.stack, []).append((iv.start, iv.end, qubit))
+    for stack, stays in sorted(stack_loads.items()):
+        # Sweep the interval starts: occupancy only increases there.
+        for t, _, _ in stays:
+            load = sum(1 for s, e, _ in stays if s <= t < e)
+            if load > capacity:
+                occupants = sorted(q for s, e, q in stays if s <= t < e)
+                add(
+                    "SCH001",
+                    f"stack{stack}",
+                    f"stack {stack} hosts {load} qubits at t={t} "
+                    f"(capacity {capacity} modes): {occupants}",
+                )
+                break  # one finding per stack is enough
+
+    # --- SCH002: background refresh inside an op window ------------
+    for qubit in sorted(schedule.refresh_times):
+        windows = [
+            (e.start, e.end, e.name)
+            for e in schedule.events
+            if qubit in e.qubits and e.duration > 0
+        ]
+        for t in schedule.refresh_times[qubit]:
+            hit = next((w for w in windows if w[0] <= t < w[1]), None)
+            if hit is not None:
+                add(
+                    "SCH002",
+                    f"q{qubit}",
+                    f"background refresh of q{qubit} at t={t} falls inside "
+                    f"its own {hit[2]} window [{hit[0]}, {hit[1]})",
+                )
+
+    # --- SCH004: segment accounting vs wall clock ------------------
+    for qubit in sorted(schedule.residences):
+        timeline = schedule.qubit_timeline(qubit)
+        if not timeline.ops:
+            continue
+        try:
+            segments = timeline.segments(include_refreshes=True)
+        except ValueError as exc:
+            add("SCH004", f"q{qubit}", f"segment extraction failed: {exc}")
+            continue
+        spent = sum(1 if seg[0] == "refresh" else seg[1] for seg in segments)
+        measure = next(
+            (op for op in timeline.ops if op.name in ("MEASURE_Z", "MEASURE_X")),
+            None,
+        )
+        life_end = measure.start if measure else schedule.total_timesteps
+        expected = life_end - timeline.ops[0].start
+        if spent != expected:
+            add(
+                "SCH004",
+                f"q{qubit}",
+                f"q{qubit}'s segments account for {spent} timesteps but its "
+                f"life [{timeline.ops[0].start}, {life_end}) spans {expected}",
+            )
+
+    # --- SCH003: static refresh-deadline analysis ------------------
+    violations = static_refresh_violations(schedule)
+    deadline = machine.cavity_modes
+    for qubit, first_t, staleness, k in violations:
+        # Is the starvation structural (the PR-4 k<6 class)?  An
+        # indivisible event longer than the deadline that spans the
+        # violation makes the deadline unserviceable by any scheduler.
+        culprit = next(
+            (
+                e
+                for e in schedule.events
+                if e.duration > k and e.start < first_t <= e.end
+            ),
+            None,
+        )
+        detail = (
+            f"; structurally unserviceable: indivisible {culprit.name} "
+            f"[{culprit.start}, {culprit.end}) is longer than the deadline"
+            if culprit is not None
+            else ""
+        )
+        add(
+            "SCH003",
+            f"q{qubit}",
+            f"q{qubit} goes {staleness} timesteps without correction "
+            f"(deadline k={k}, first violation at t={first_t}){detail}",
+        )
+
+    # --- SCH005: static audit vs the compiler's replay audit -------
+    static_ticks = _static_violation_ticks(schedule)
+    if static_ticks != schedule.refresh_violations:
+        add(
+            "SCH005",
+            "refresh-audit",
+            f"static analysis finds {static_ticks} violating (qubit, "
+            f"timestep) pairs but the replay audit recorded "
+            f"{schedule.refresh_violations}",
+        )
+    return diagnostics

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.circuits.instructions import GATE_SPECS, GateKind, Instruction
+from repro.circuits.instructions import GateKind, Instruction
 
 __all__ = ["Circuit", "Detector", "Observable"]
 

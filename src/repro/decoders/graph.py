@@ -13,7 +13,7 @@ chains of known two-detector edges, mirroring what stim/pymatching do.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -19,13 +19,8 @@ from typing import Hashable
 
 from repro.circuits import Circuit
 from repro.noise import ErrorModel
-from repro.surface_code.builder import (
-    CAVITY,
-    MomentCircuitBuilder,
-    SlotRegistry,
-    TRANSMON,
-)
-from repro.surface_code.layout import Plaquette, RotatedSurfaceCode
+from repro.surface_code.builder import MomentCircuitBuilder, SlotRegistry
+from repro.surface_code.layout import RotatedSurfaceCode
 
 __all__ = [
     "BASELINE_CNOT_ORDERS",

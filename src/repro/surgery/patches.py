@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -169,7 +169,9 @@ class SurgeryLab:
                 flips.append(0 if expectation == 1 else 1)
             if not any(flips):
                 continue
-            support = lambda p: p.xs if check_basis == "X" else p.zs
+            def support(p):
+                return p.xs if check_basis == "X" else p.zs
+
             # One generator per candidate fixup qubit: its overlap pattern
             # with every check plus the stay-logical constraint row.
             generators = []

@@ -65,6 +65,7 @@ from repro.vlq.lowering import LoweringSpec, lower_timeline, timeline_shape
 from repro.vlq.surgery import (
     JointLoweringSpec,
     certify_joint_deterministic,
+    certify_joint_oracle,
     joint_shape,
     lower_joint_timelines,
     partition_surgery,
@@ -247,6 +248,8 @@ def run_program_experiment(
     correlated: bool = False,
     window_noise_scale: float = 1.0,
     certify_joint: bool = True,
+    certify_lowering: bool = True,
+    oracle_cert: bool = False,
     joint_cache: BuildCache | None = None,
     joint_graph_cache: BuildCache | None = None,
 ) -> ProgramExperimentResult:
@@ -260,12 +263,20 @@ def run_program_experiment(
 
     With ``correlated=True`` the schedule's lattice-surgery pairs are
     additionally lowered as merged-patch circuits and decoded jointly
-    (see the module docstring); ``certify_joint`` runs the exact
-    stabilizer-simulator determinism certificate once per distinct joint
-    shape, and ``window_noise_scale`` scales the §IV-A channels inside
-    the merged windows only (0.0 is the factorization limit the tests
-    pin).  Surgery components of three or more qubits fall back to
-    independent pieces and are reported via ``uncovered_windows``.
+    (see the module docstring); ``certify_joint`` proves the
+    determinism certificate once per distinct joint shape, and
+    ``window_noise_scale`` scales the §IV-A channels inside the merged
+    windows only (0.0 is the factorization limit the tests pin).
+    Surgery components of three or more qubits fall back to independent
+    pieces and are reported via ``uncovered_windows``.
+
+    Certification is *static*: the symbolic GF(2) verifier
+    (:mod:`repro.analyze.symbolic`) proves each distinct shape's
+    detectors and observables deterministic for every
+    measurement-randomness outcome.  ``certify_lowering`` applies the
+    same proof to every distinct single-qubit lowering; ``oracle_cert``
+    additionally cross-checks each certified circuit against the
+    sampled stabilizer-tableau oracle (the CLI's ``--oracle-cert``).
     """
     if refresh not in REFRESH_POLICIES:
         raise ValueError(f"refresh must be one of {REFRESH_POLICIES}")
@@ -281,6 +292,9 @@ def run_program_experiment(
     joint_graph_cache = (
         joint_graph_cache if joint_graph_cache is not None else BuildCache("joint-graph")
     )
+    # Imported here: repro.analyze's lint driver imports this module, so a
+    # top-level import would be circular.
+    from repro.analyze.symbolic import certify_deterministic
 
     schedule = compile_program(
         program, machine, policy=policy, insert_refresh=(refresh == "dram")
@@ -301,6 +315,12 @@ def run_program_experiment(
 
         def _build_lowering():
             lowered = lower_timeline(timeline, error_model, spec)
+            if certify_lowering:
+                certify_deterministic(
+                    lowered.circuit, name=f"q{timeline.qubit} lowering"
+                )
+                if oracle_cert:
+                    certify_joint_oracle(lowered)
             return lowered, make_sampler(lowered.circuit, backend)
 
         memory, sampler = lowering_cache.get(
@@ -364,7 +384,7 @@ def run_program_experiment(
             def _build_joint():
                 lowered = lower_joint_timelines(ta, tb, spans, error_model, jspec)
                 if certify_joint:
-                    certify_joint_deterministic(lowered)
+                    certify_joint_deterministic(lowered, oracle=oracle_cert)
                 return lowered, make_sampler(lowered.circuit, backend)
 
             memory, sampler = joint_cache.get(
@@ -546,6 +566,7 @@ def compare_architectures(
     correlated: bool = False,
     window_noise_scale: float = 1.0,
     certify_joint: bool = True,
+    oracle_cert: bool = False,
 ) -> ArchitectureComparison:
     """Run the end-to-end architecture comparison for one program.
 
@@ -591,6 +612,7 @@ def compare_architectures(
                         correlated=correlated,
                         window_noise_scale=window_noise_scale,
                         certify_joint=certify_joint,
+                        oracle_cert=oracle_cert,
                         joint_cache=joint_cache,
                         joint_graph_cache=joint_graph_cache,
                     )

@@ -74,6 +74,7 @@ __all__ = [
     "MergedPatchLayout",
     "SurgeryPartition",
     "certify_joint_deterministic",
+    "certify_joint_oracle",
     "joint_shape",
     "lower_joint_timelines",
     "partition_surgery",
@@ -741,16 +742,43 @@ def _emit_joint_detectors(
 # Certification
 # ----------------------------------------------------------------------
 def certify_joint_deterministic(
-    memory: JointMemoryCircuit, seeds: Sequence[int] = (0, 1)
+    memory: JointMemoryCircuit, seeds: Sequence[int] = (0, 1), oracle: bool = False
 ) -> None:
-    """Exact-simulator certificate of a joint lowering.
+    """Static determinism certificate of a joint lowering.
 
-    Strips the noise channels and runs the circuit on the stabilizer
-    tableau simulator: every detector and both per-patch observables
-    must come out zero for every seed (the seam's joint-measurement
-    randomness must have been kept out of the detector map).  Raises
+    Proves by symbolic GF(2) propagation that every detector and both
+    per-patch observables are zero on the noiseless circuit for *every*
+    measurement-randomness outcome (the seam's joint-measurement
+    randomness must have been kept out of the detector map) — one
+    symbolic walk covers all seeds at once, and a failure names the
+    instruction whose randomness leaks.  Raises
     :class:`JointCertificationError` otherwise.  The campaign runs this
     once per distinct joint circuit shape.
+
+    With ``oracle=True`` the pre-analyzer certificate — sampled runs of
+    the stabilizer tableau simulator at the given ``seeds`` — is run as
+    a cross-check after the proof (``repro``'s CLI exposes this as
+    ``--oracle-cert``).
+    """
+    from repro.analyze.symbolic import SymbolicCertificationError, certify_deterministic
+
+    try:
+        certify_deterministic(memory.circuit, name=memory.scheme)
+    except SymbolicCertificationError as exc:
+        raise JointCertificationError(str(exc)) from exc
+    if oracle:
+        certify_joint_oracle(memory, seeds)
+
+
+def certify_joint_oracle(
+    memory: JointMemoryCircuit, seeds: Sequence[int] = (0, 1)
+) -> None:
+    """Sampled tableau-simulator certificate (the pre-analyzer oracle).
+
+    Strips the noise channels and runs the circuit on the stabilizer
+    tableau simulator once per seed; every detector and observable must
+    come out zero.  Kept as an independent cross-check of the symbolic
+    proof — a pinned test asserts the two agree on every joint shape.
     """
     from repro.stabilizer import TableauSimulator
 

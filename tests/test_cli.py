@@ -92,7 +92,7 @@ class TestCLI:
         assert "Independent vs joint" in out
         assert "joint q0,q1" in out
         assert "joint-lowering cache:" in out
-        assert "certified deterministic" in out
+        assert "proven deterministic by symbolic GF(2) propagation" in out
         assert "tier accounting balances" in out
 
     def test_compare_correlated_respects_explicit_policy(self, capsys):
@@ -125,3 +125,50 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestLintCommand:
+    def test_lint_green_on_preset_matrix(self, capsys):
+        assert main([
+            "lint", "--programs", "pairs", "--embedding", "compact",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out and "schedules=" in out
+
+    def test_lint_json_output_and_report_file(self, capsys, tmp_path):
+        report_path = tmp_path / "lint.json"
+        assert main([
+            "lint", "--programs", "pairs", "--embedding", "compact",
+            "--json", "--out", str(report_path),
+        ]) == 0
+        import json
+
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["ok"] and printed["errors"] == 0
+        on_disk = json.loads(report_path.read_text())
+        assert on_disk == printed
+        assert on_disk["checked"]["schedules"] > 0
+
+    def test_lint_oracle_cross_check(self, capsys):
+        assert main([
+            "lint", "--programs", "pairs", "--embedding", "compact",
+            "--oracle-cert",
+        ]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_exit_code_on_findings(self, capsys, monkeypatch):
+        # Make the driver report an error and assert the CLI gates on it.
+        from repro.analyze import Diagnostic, LintReport
+        import repro.analyze
+
+        def broken_matrix(**_kwargs):
+            report = LintReport()
+            report.extend([
+                Diagnostic("SCH003", "error", "fake", "injected failure")
+            ])
+            return report
+
+        monkeypatch.setattr(repro.analyze, "lint_matrix", broken_matrix)
+        assert main(["lint", "--programs", "pairs"]) == 1
+        out = capsys.readouterr().out
+        assert "SCH003" in out and "1 error(s)" in out

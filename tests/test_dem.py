@@ -13,7 +13,6 @@ from repro.circuits import Circuit, GateKind
 from repro.dem import DetectorErrorModel, extract_fault_mechanisms
 from repro.noise import BASELINE_HARDWARE, MEMORY_HARDWARE, ErrorModel
 from repro.sim import sample_detection_data
-from repro.sim.frame import FrameSimulator
 from repro.surface_code import baseline_memory_circuit
 from repro.arch import compact_memory_circuit, natural_memory_circuit
 

@@ -1,6 +1,5 @@
 """Tests for the vectorized Pauli-frame simulator."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import Circuit

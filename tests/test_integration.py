@@ -5,7 +5,6 @@ These exercise complete user-facing paths: circuit builder → DEM → decoder
 scaling the whole stack exists to demonstrate.
 """
 
-import pytest
 
 from repro import (
     ErrorModel,

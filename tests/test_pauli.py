@@ -40,11 +40,13 @@ def pauli_pairs(n_max=6):
 
 
 def pauli_triples(n_max=5):
-    one = lambda n: st.builds(
-        PauliString.from_string,
-        st.text(alphabet="IXYZ", min_size=n, max_size=n),
-        st.sampled_from([1, -1, 1j, -1j]),
-    )
+    def one(n):
+        return st.builds(
+            PauliString.from_string,
+            st.text(alphabet="IXYZ", min_size=n, max_size=n),
+            st.sampled_from([1, -1, 1j, -1j]),
+        )
+
     return st.integers(min_value=1, max_value=n_max).flatmap(
         lambda n: st.tuples(one(n), one(n), one(n))
     )

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.pauli import PauliString
 from repro.surgery import (
     CNOT_TIMESTEPS_LATTICE_SURGERY,
     CNOT_TIMESTEPS_TRANSVERSAL,

@@ -1,6 +1,5 @@
 """Tests for the Aaronson–Gottesman tableau simulator."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import Circuit

@@ -1,6 +1,5 @@
 """Tests for threshold estimation and sensitivity machinery."""
 
-import math
 
 import pytest
 

@@ -12,7 +12,6 @@ Three layers are covered:
   packed and reference backends agree statistically.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import LogicalProgram, Machine, compile_program
