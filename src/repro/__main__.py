@@ -16,7 +16,16 @@ Commands
                 determinism proofs of every lowered circuit shape,
                 schedule dataflow checks and decoder-graph validation
                 (``--json`` for machine-readable output; exit code 1 on
-                any error-severity finding)
+                any error-severity finding); ``--ledger`` adds durable
+                run-ledger consistency checks
+
+The campaign commands (``threshold``/``memory``/``compare``) accept
+``--ledger`` for durable, checkpointed execution: per-block results are
+appended to a JSONL run ledger, ``--resume`` continues an interrupted
+campaign bit-identically, ``--target-ci-width`` stops once the Wilson
+interval is tight enough, and ``--chaos`` injects deterministic faults
+for chaos testing.  A campaign interrupted by SIGINT/SIGTERM checkpoints
+and exits 130.
 
 Every subcommand exits non-zero when a gate it checks fails (tier
 accounting mismatch, lint errors, failed certification).
@@ -25,22 +34,186 @@ accounting mismatch, lint errors, failed certification).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+
+#: Mirrors ``repro.threshold.SCHEMES`` so the parser can reject unknown
+#: schemes without importing the threshold stack at startup (test_cli
+#: pins the equality).
+_SCHEME_CHOICES = (
+    "baseline",
+    "natural_all_at_once",
+    "natural_interleaved",
+    "compact_all_at_once",
+    "compact_interleaved",
+)
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _odd_distance(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 3 or value % 2 == 0:
+        raise argparse.ArgumentTypeError(
+            f"code distance must be an odd integer >= 3, got {value}"
+        )
+    return value
+
+
+def _probability(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 < value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a probability in (0, 1), got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
+def _fault_spec(text: str):
+    from repro.durable import parse_fault_spec
+
+    try:
+        return parse_fault_spec(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     """The Monte-Carlo engine knobs shared by every sampling command."""
     parser.add_argument("--decoder", choices=("unionfind", "mwpm"),
                         default="unionfind")
-    parser.add_argument("--workers", type=int, default=1,
+    parser.add_argument("--workers", type=_positive_int, default=1,
                         help="worker processes for the Monte-Carlo engine")
-    parser.add_argument("--chunk-size", type=int, default=None,
+    parser.add_argument("--chunk-size", type=_positive_int, default=None,
                         help="shots materialized per chunk (memory bound; "
                              "defaults to the engine default)")
     parser.add_argument("--backend", choices=("packed", "reference"),
                         default="packed",
                         help="sampling backend: compiled bit-plane (packed)"
                              " or per-instruction bool-array (reference)")
+
+
+def _add_durable_args(parser: argparse.ArgumentParser) -> None:
+    """Durable-execution knobs shared by the campaign commands."""
+    durable = parser.add_argument_group(
+        "durability",
+        "checkpointed, resumable execution (see EXPERIMENTS.md, "
+        "'Durability & determinism contract')",
+    )
+    durable.add_argument("--ledger", default=None, metavar="PATH",
+                         help="checkpoint per-block results to this JSONL run "
+                              "ledger (enables durable execution)")
+    durable.add_argument("--resume", action="store_true",
+                         help="continue an interrupted campaign from the "
+                              "ledger's last durable block (required when the "
+                              "ledger file already exists)")
+    durable.add_argument("--target-ci-width", type=_positive_float, default=None,
+                         metavar="W",
+                         help="stop each unit once its Wilson 95%% interval "
+                              "is at most this wide (checked on deterministic "
+                              "wave boundaries)")
+    durable.add_argument("--chaos", type=_fault_spec, default=None, metavar="SPEC",
+                         help="fault-injection spec for chaos testing, e.g. "
+                              "'crash=0.15,hang=0.08,seed=7' or 'abort=3,"
+                              "seed=7' (keys: crash/hang/exc/decode/torn "
+                              "rates, seed, abort, hang-seconds, max-faults, "
+                              "only)")
+    durable.add_argument("--block-timeout", type=_positive_float, default=300.0,
+                         metavar="SECONDS",
+                         help="per-block deadline before the worker is "
+                              "presumed hung and restarted")
+    durable.add_argument("--max-attempts", type=_positive_int, default=3,
+                         help="attempts per block before quarantine")
+    durable.add_argument("--retry-base-delay", type=_positive_float, default=0.05,
+                         metavar="SECONDS",
+                         help="base of the exponential retry backoff")
+
+
+def _run_durable(args, spec: dict, body) -> int:
+    """Run ``body(executor)`` under the durable harness when requested.
+
+    Without ``--ledger`` the body runs plain (``executor=None``).  With
+    it, the campaign checkpoints into the ledger, SIGINT/SIGTERM become
+    graceful stops (exit 130 with everything completed still durable),
+    and the durability report is appended to the output.
+    """
+    if args.ledger is None:
+        for flag, value in (("--resume", args.resume),
+                            ("--target-ci-width", args.target_ci_width),
+                            ("--chaos", args.chaos)):
+            if value:
+                print(f"error: {flag} requires --ledger", file=sys.stderr)
+                return 2
+        return body(None)
+    from repro.durable import (
+        CampaignInterrupted,
+        DurableExecutor,
+        LedgerError,
+        RetryPolicy,
+        RunLedger,
+        graceful_interrupts,
+    )
+
+    if (os.path.exists(args.ledger) and os.path.getsize(args.ledger) > 0
+            and not args.resume):
+        print(f"error: ledger {args.ledger} already exists; pass --resume to "
+              f"continue that campaign (or choose a fresh path)",
+              file=sys.stderr)
+        return 2
+    try:
+        ledger = RunLedger(args.ledger, spec, fault=args.chaos)
+    except LedgerError as exc:
+        print(f"ledger error: {exc}", file=sys.stderr)
+        return 2
+    executor = DurableExecutor(
+        ledger,
+        workers=args.workers,
+        policy=RetryPolicy(
+            block_timeout=args.block_timeout,
+            max_attempts=args.max_attempts,
+            retry_base_delay=args.retry_base_delay,
+        ),
+        fault=args.chaos,
+        target_ci_width=args.target_ci_width,
+    )
+    try:
+        with graceful_interrupts(executor):
+            code = body(executor)
+        print()
+        print(executor.format_report())
+        return code
+    except CampaignInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        return 130
+    except LedgerError as exc:
+        print(f"ledger error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        ledger.close()
 
 
 def _tier_summary(stats: dict) -> str:
@@ -118,7 +291,7 @@ def _cmd_inventory(args) -> int:
 
 def _cmd_threshold(args) -> int:
     from repro.report import format_series
-    from repro.sim import DEFAULT_CHUNK_SIZE
+    from repro.sim import DEFAULT_CHUNK_SIZE, SHOT_BLOCK
     from repro.threshold import estimate_program_threshold, estimate_threshold
 
     ps = [2e-3, 4e-3, 6e-3, 9e-3, 1.3e-2]
@@ -135,57 +308,81 @@ def _cmd_threshold(args) -> int:
         from repro.vlq import build_program
 
         qubits = 4 if args.qubits is None else args.qubits
-        study = estimate_program_threshold(
-            build_program(args.program, qubits),
+        spec = {
+            "command": "threshold", "program": args.program, "qubits": qubits,
+            "embedding": args.embedding or "compact",
+            "refresh": args.refresh or "dram", "correlated": args.correlated,
+            "ps": ps, "distances": [3, 5], "shots": args.shots,
+            "decoder": args.decoder, "backend": args.backend,
+            "shot_block": SHOT_BLOCK, "version": 1,
+        }
+
+        def body(executor) -> int:
+            study = estimate_program_threshold(
+                build_program(args.program, qubits),
+                physical_error_rates=ps,
+                distances=(3, 5),
+                embedding=args.embedding or "compact",
+                refresh=args.refresh or "dram",
+                shots=args.shots,
+                correlated=args.correlated,
+                policy="surgery_only" if args.correlated else "auto",
+                decoder=args.decoder,
+                workers=args.workers,
+                chunk_size=chunk_size,
+                backend=args.backend,
+                program_name=args.program,
+                executor=executor,
+            )
+            series = {f"d={d}": study.rates[d] for d in study.distances}
+            print(format_series(
+                ps, series, xlabel="p",
+                title=(f"program: {args.program}({qubits}) "
+                       f"{study.embedding}/{study.refresh}"
+                       f"{' correlated' if study.correlated else ''}"),
+            ))
+            threshold = study.threshold_estimate()
+            print("program threshold estimate:",
+                  "not bracketed" if threshold is None else f"{threshold:.4f}")
+            return 0
+
+        return _run_durable(args, spec, body)
+    for flag, value in program_flags:
+        if value is not None:
+            raise ValueError(f"{flag} requires --program")
+    scheme = args.scheme or "baseline"
+    spec = {
+        "command": "threshold", "scheme": scheme, "ps": ps,
+        "distances": [3, 5], "shots": args.shots, "decoder": args.decoder,
+        "backend": args.backend, "shot_block": SHOT_BLOCK, "version": 1,
+    }
+
+    def body(executor) -> int:
+        study = estimate_threshold(
+            scheme,
             physical_error_rates=ps,
             distances=(3, 5),
-            embedding=args.embedding or "compact",
-            refresh=args.refresh or "dram",
             shots=args.shots,
-            correlated=args.correlated,
-            policy="surgery_only" if args.correlated else "auto",
             decoder=args.decoder,
             workers=args.workers,
             chunk_size=chunk_size,
             backend=args.backend,
-            program_name=args.program,
+            executor=executor,
         )
-        series = {f"d={d}": study.rates[d] for d in study.distances}
-        print(format_series(
-            ps, series, xlabel="p",
-            title=(f"program: {args.program}({qubits}) "
-                   f"{study.embedding}/{study.refresh}"
-                   f"{' correlated' if study.correlated else ''}"),
-        ))
+        series = {f"d={d}": study.logical_rates(d) for d in sorted(study.results)}
+        print(format_series(ps, series, xlabel="p", title=f"scheme: {scheme}"))
         threshold = study.threshold_estimate()
-        print("program threshold estimate:",
+        print("threshold estimate:",
               "not bracketed" if threshold is None else f"{threshold:.4f}")
         return 0
-    for flag, value in program_flags:
-        if value is not None:
-            raise ValueError(f"{flag} requires --program")
-    study = estimate_threshold(
-        args.scheme or "baseline",
-        physical_error_rates=ps,
-        distances=(3, 5),
-        shots=args.shots,
-        decoder=args.decoder,
-        workers=args.workers,
-        chunk_size=chunk_size,
-        backend=args.backend,
-    )
-    series = {f"d={d}": study.logical_rates(d) for d in sorted(study.results)}
-    print(format_series(ps, series, xlabel="p", title=f"scheme: {args.scheme}"))
-    threshold = study.threshold_estimate()
-    print("threshold estimate:",
-          "not bracketed" if threshold is None else f"{threshold:.4f}")
-    return 0
+
+    return _run_durable(args, spec, body)
 
 
 def _cmd_memory(args) -> int:
     from repro.decoders import TIER_NAMES
     from repro.noise import ErrorModel
-    from repro.sim import DEFAULT_CHUNK_SIZE, run_memory_experiment
+    from repro.sim import DEFAULT_CHUNK_SIZE, SHOT_BLOCK, run_memory_experiment
     from repro.threshold import build_memory_circuit
     from repro.threshold.estimator import default_hardware_for
 
@@ -197,29 +394,39 @@ def _cmd_memory(args) -> int:
     memory = build_memory_circuit(
         args.scheme, args.distance, model, basis=args.basis, rounds=args.rounds
     )
-    result = run_memory_experiment(
-        memory,
-        shots=args.shots,
-        decoder=args.decoder,
-        seed=args.seed,
-        workers=args.workers,
-        chunk_size=DEFAULT_CHUNK_SIZE if args.chunk_size is None else args.chunk_size,
-        backend=args.backend,
-    )
-    print(result)
-    stats = result.decode_stats
-    print(_tier_summary(stats))
-    balanced = sum(stats.get(t, 0) for t in TIER_NAMES) == stats.get("unique", 0)
-    print(f"tier accounting {'balances' if balanced else 'MISMATCH'} "
-          "(sum of tiers vs unique syndromes)")
-    return 0 if balanced else 1
+    spec = {
+        "command": "memory", "scheme": args.scheme, "distance": args.distance,
+        "p": args.p, "rounds": args.rounds, "basis": args.basis,
+        "shots": args.shots, "seed": args.seed, "decoder": args.decoder,
+        "backend": args.backend, "shot_block": SHOT_BLOCK, "version": 1,
+    }
+
+    def body(executor) -> int:
+        result = run_memory_experiment(
+            memory,
+            shots=args.shots,
+            decoder=args.decoder,
+            seed=args.seed,
+            workers=args.workers,
+            chunk_size=(DEFAULT_CHUNK_SIZE if args.chunk_size is None
+                        else args.chunk_size),
+            backend=args.backend,
+            executor=executor,
+        )
+        print(result)
+        stats = result.decode_stats
+        print(_tier_summary(stats))
+        balanced = sum(stats.get(t, 0) for t in TIER_NAMES) == stats.get("unique", 0)
+        print(f"tier accounting {'balances' if balanced else 'MISMATCH'} "
+              "(sum of tiers vs unique syndromes)")
+        return 0 if balanced else 1
+
+    return _run_durable(args, spec, body)
 
 
 def _cmd_compare(args) -> int:
-    from repro.decoders import TIER_NAMES
-    from repro.report import ascii_table
-    from repro.sim import DEFAULT_CHUNK_SIZE
-    from repro.vlq import ArchitectureComparison, build_program, compare_architectures
+    from repro.sim import SHOT_BLOCK
+    from repro.vlq import build_program
 
     program = build_program(args.program, args.qubits)
     embeddings = ("compact", "natural") if args.embedding == "both" else (args.embedding,)
@@ -228,6 +435,29 @@ def _cmd_compare(args) -> int:
     # pins a policy, force every CNOT onto the lattice-surgery path so
     # there is a joint error surface to measure.
     policy = args.policy or ("surgery_only" if args.correlated else "auto")
+    spec = {
+        "command": "compare", "program": args.program, "qubits": args.qubits,
+        "correlated": args.correlated, "policy": policy,
+        "distances": list(args.distance), "p": args.p, "shots": args.shots,
+        "grid": args.grid, "embeddings": list(embeddings),
+        "refresh_policies": list(refreshes),
+        "rounds_per_timestep": args.rounds_per_timestep, "seed": args.seed,
+        "decoder": args.decoder, "backend": args.backend,
+        "shot_block": SHOT_BLOCK, "version": 1,
+    }
+
+    def body(executor) -> int:
+        return _compare_body(args, executor, program, embeddings, refreshes, policy)
+
+    return _run_durable(args, spec, body)
+
+
+def _compare_body(args, executor, program, embeddings, refreshes, policy) -> int:
+    from repro.decoders import TIER_NAMES
+    from repro.report import ascii_table
+    from repro.sim import DEFAULT_CHUNK_SIZE
+    from repro.vlq import ArchitectureComparison, compare_architectures
+
     comparison = compare_architectures(
         program,
         distances=tuple(args.distance),
@@ -246,6 +476,7 @@ def _cmd_compare(args) -> int:
         program_name=args.program,
         correlated=args.correlated,
         oracle_cert=args.oracle_cert,
+        executor=executor,
     )
     print(ascii_table(
         ArchitectureComparison.TABLE_HEADERS,
@@ -301,17 +532,33 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analyze import lint_matrix
+    if args.ledger_only and args.ledger is None:
+        print("error: --ledger-only requires --ledger", file=sys.stderr)
+        return 2
+    if args.ledger_only:
+        from repro.analyze import LintReport
 
-    report = lint_matrix(
-        programs=tuple(args.programs),
-        qubits=args.qubits,
-        distances=tuple(args.distance),
-        embeddings=(
-            ("natural", "compact") if args.embedding == "both" else (args.embedding,)
-        ),
-        oracle=args.oracle_cert,
-    )
+        report = LintReport()
+    else:
+        from repro.analyze import lint_matrix
+
+        report = lint_matrix(
+            programs=tuple(args.programs),
+            qubits=args.qubits,
+            distances=tuple(args.distance),
+            embeddings=(
+                ("natural", "compact") if args.embedding == "both" else (args.embedding,)
+            ),
+            oracle=args.oracle_cert,
+        )
+    if args.ledger is not None:
+        from repro.durable import lint_ledger
+
+        ledger_report = lint_ledger(args.ledger)
+        report.extend(ledger_report.diagnostics)
+        for what, n in ledger_report.checked.items():
+            report.count(what, n)
+        report.count("ledgers")
     output = report.to_json() if args.json else report.format_text()
     print(output)
     if args.out is not None:
@@ -327,21 +574,21 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("tables")
     sub.add_parser("magic")
     inventory = sub.add_parser("inventory")
-    inventory.add_argument("--grid", type=int, default=2)
-    inventory.add_argument("--modes", type=int, default=10)
-    inventory.add_argument("--distance", type=int, default=5)
+    inventory.add_argument("--grid", type=_positive_int, default=2)
+    inventory.add_argument("--modes", type=_positive_int, default=10)
+    inventory.add_argument("--distance", type=_odd_distance, default=5)
     inventory.add_argument("--embedding", choices=("natural", "compact"),
                            default="compact")
     threshold = sub.add_parser("threshold")
-    threshold.add_argument("--scheme", default=None,
+    threshold.add_argument("--scheme", choices=_SCHEME_CHOICES, default=None,
                            help="single-patch scheme (default: baseline; "
                                 "mutually exclusive with --program)")
-    threshold.add_argument("--shots", type=int, default=500)
+    threshold.add_argument("--shots", type=_positive_int, default=500)
     threshold.add_argument("--program", choices=("pairs", "ghz", "t"), default=None,
                            help="estimate a PROGRAM-level threshold (p where "
                                 "growing d stops helping the whole program) "
                                 "instead of a single-patch scheme")
-    threshold.add_argument("--qubits", type=int, default=None,
+    threshold.add_argument("--qubits", type=_positive_int, default=None,
                            help="program size for --program (default 4)")
     threshold.add_argument("--embedding", choices=("compact", "natural"),
                            default=None,
@@ -352,27 +599,29 @@ def main(argv: list[str] | None = None) -> int:
                            help="with --program: sweep the joint (merged "
                                 "surgery window) p_program")
     _add_engine_args(threshold)
+    _add_durable_args(threshold)
 
     memory = sub.add_parser(
         "memory", help="one logical-memory Monte-Carlo point with tier accounting"
     )
-    memory.add_argument("--scheme", default="baseline",
+    memory.add_argument("--scheme", choices=_SCHEME_CHOICES, default="baseline",
                         help="baseline | natural_* | compact_* (see Fig. 11)")
-    memory.add_argument("--distance", type=int, default=3)
-    memory.add_argument("--p", type=float, default=2e-3,
+    memory.add_argument("--distance", type=_odd_distance, default=3)
+    memory.add_argument("--p", type=_probability, default=2e-3,
                         help="physical error rate (coherence pinned at Table I)")
-    memory.add_argument("--rounds", type=int, default=None,
+    memory.add_argument("--rounds", type=_positive_int, default=None,
                         help="extraction rounds (default: distance)")
     memory.add_argument("--basis", choices=("Z", "X"), default="Z")
-    memory.add_argument("--shots", type=int, default=2000)
+    memory.add_argument("--shots", type=_positive_int, default=2000)
     memory.add_argument("--seed", type=int, default=0)
     _add_engine_args(memory)
+    _add_durable_args(memory)
 
     compare = sub.add_parser(
         "compare", help="program-level compact-vs-natural architecture comparison"
     )
     compare.add_argument("--program", choices=("pairs", "ghz", "t"), default="pairs")
-    compare.add_argument("--qubits", type=int, default=4)
+    compare.add_argument("--qubits", type=_positive_int, default=4)
     compare.add_argument("--correlated", action="store_true",
                          help="additionally lower lattice-surgery pairs as "
                               "merged-patch circuits with one joint decode "
@@ -383,11 +632,11 @@ def main(argv: list[str] | None = None) -> int:
                          default=None,
                          help="compiler CNOT policy (default: auto, or "
                               "surgery_only when --correlated)")
-    compare.add_argument("--distance", type=int, nargs="+", default=[3])
-    compare.add_argument("--p", type=float, default=2e-3)
-    compare.add_argument("--shots", type=int, default=2000,
+    compare.add_argument("--distance", type=_odd_distance, nargs="+", default=[3])
+    compare.add_argument("--p", type=_probability, default=2e-3)
+    compare.add_argument("--shots", type=_positive_int, default=2000,
                          help="Monte-Carlo shots per logical qubit")
-    compare.add_argument("--grid", type=int, default=2,
+    compare.add_argument("--grid", type=_positive_int, default=2,
                          help="stack grid side (grid x grid stacks)")
     compare.add_argument("--embedding", choices=("both", "compact", "natural"),
                          default="both")
@@ -395,7 +644,7 @@ def main(argv: list[str] | None = None) -> int:
                          default="both",
                          help="DRAM-style background refresh vs the no-refresh"
                               " ablation")
-    compare.add_argument("--rounds-per-timestep", type=int, default=1,
+    compare.add_argument("--rounds-per-timestep", type=_positive_int, default=1,
                          help="extraction rounds per compiler timestep (the "
                               "paper's clock is d; 1 keeps sweeps fast)")
     compare.add_argument("--seed", type=int, default=0)
@@ -403,6 +652,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="cross-check the symbolic determinism proofs "
                               "against the sampled stabilizer-tableau oracle")
     _add_engine_args(compare)
+    _add_durable_args(compare)
 
     lint = sub.add_parser(
         "lint", help="static analysis of the preset matrix (symbolic GF(2) "
@@ -412,8 +662,8 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument("--programs", nargs="+", choices=("pairs", "ghz", "t"),
                       default=["ghz", "pairs", "t"],
                       help="program presets to lint")
-    lint.add_argument("--qubits", type=int, default=4)
-    lint.add_argument("--distance", type=int, nargs="+", default=[3])
+    lint.add_argument("--qubits", type=_positive_int, default=4)
+    lint.add_argument("--distance", type=_odd_distance, nargs="+", default=[3])
     lint.add_argument("--embedding", choices=("both", "compact", "natural"),
                       default="both")
     lint.add_argument("--json", action="store_true",
@@ -423,6 +673,13 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument("--oracle-cert", action="store_true",
                       help="cross-check every symbolic proof against the "
                            "sampled stabilizer-tableau oracle")
+    lint.add_argument("--ledger", default=None, metavar="PATH",
+                      help="additionally consistency-check a durable run "
+                           "ledger (LED00x diagnostics: header/corruption, "
+                           "tier accounting, unit reconciliation)")
+    lint.add_argument("--ledger-only", action="store_true",
+                      help="lint only the --ledger file, skipping the preset "
+                           "matrix")
 
     args = parser.parse_args(argv)
     return {

@@ -21,6 +21,13 @@ GRF001    detector node cannot reach the boundary
 GRF002    non-positive edge weight (probability outside (0, 0.5))
 GRF003    union-find CSR/list mirrors inconsistent with the graph
 GRF004    DEM error mechanism not covered by the decoding graph
+LED001    run ledger has a missing or invalid header record
+LED002    corrupted ledger record (interior, newline-terminated)
+LED003    duplicate ledger record for one (unit, block)
+LED004    ledger block's decode-tier accounting does not balance
+LED005    ledger unit summary does not reconcile with its blocks
+LED006    torn (unterminated) ledger tail tolerated  [warning]
+LED007    incomplete campaign or surplus blocks in ledger  [warning]
 ========  ==============================================================
 """
 
@@ -48,6 +55,13 @@ CODES = {
     "GRF002": "non-positive decoding-graph edge weight",
     "GRF003": "union-find CSR/list mirrors inconsistent",
     "GRF004": "DEM error mechanism not covered by the graph",
+    "LED001": "run ledger has a missing or invalid header record",
+    "LED002": "corrupted ledger record",
+    "LED003": "duplicate ledger record",
+    "LED004": "ledger block tier accounting does not balance",
+    "LED005": "ledger unit summary does not reconcile",
+    "LED006": "torn ledger tail tolerated",
+    "LED007": "incomplete campaign or surplus ledger blocks",
 }
 
 

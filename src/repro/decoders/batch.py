@@ -77,6 +77,21 @@ class SyndromeDecoder:
         #: tier occupancy of the most recent decode_batch call
         self.last_batch_stats: dict[str, int] | None = None
 
+    def reset_batch_state(self) -> None:
+        """Drop cross-batch decode state (the LRU and last-batch stats).
+
+        After this call the next ``decode_batch``'s result *and* its tier
+        occupancy are pure functions of that batch's syndromes: nothing
+        can land in the ``cached`` tier, so the cached/full split no
+        longer depends on which batches ran earlier in this process.
+        Durable block execution calls this before every block to make
+        per-block checkpoints bit-identical across workers and resumes.
+        The weight-1 table survives — its entries are deterministic per
+        detector and its fill state never shows up in tier accounting.
+        """
+        self._lru.clear()
+        self.last_batch_stats = None
+
     # ------------------------------------------------------------------
     # Single-shot interface
     # ------------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""Durable, fault-tolerant campaign execution.
+
+The durability layer of the campaign stack: append-only JSONL run
+ledgers with content-hash keys (:mod:`repro.durable.ledger`), supervised
+block execution with retry/backoff/quarantine
+(:mod:`repro.durable.supervise`), deterministic fault injection for
+chaos testing (:mod:`repro.durable.faults`), and the
+:class:`DurableExecutor` that the experiment layers accept to make any
+campaign checkpointed, resumable and interruptible
+(:mod:`repro.durable.runner`).
+"""
+
+from repro.durable.faults import (
+    FaultPlan,
+    InjectedChunkError,
+    InjectedCrash,
+    InjectedFault,
+    InjectedHang,
+    InjectedTornWrite,
+    parse_fault_spec,
+)
+from repro.durable.ledger import (
+    LEDGER_VERSION,
+    LedgerError,
+    ParsedLedger,
+    RunLedger,
+    lint_ledger,
+    parse_ledger,
+    run_key,
+)
+from repro.durable.runner import (
+    DEFAULT_STOP_INTERVAL_BLOCKS,
+    CampaignInterrupted,
+    DurableExecutor,
+    UnitOutcome,
+    graceful_interrupts,
+)
+from repro.durable.supervise import (
+    BlockOutcome,
+    RetryPolicy,
+    SupervisedResult,
+    run_supervised,
+)
+
+__all__ = [
+    "BlockOutcome",
+    "CampaignInterrupted",
+    "DEFAULT_STOP_INTERVAL_BLOCKS",
+    "DurableExecutor",
+    "FaultPlan",
+    "InjectedChunkError",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedHang",
+    "InjectedTornWrite",
+    "LEDGER_VERSION",
+    "LedgerError",
+    "ParsedLedger",
+    "RetryPolicy",
+    "RunLedger",
+    "SupervisedResult",
+    "UnitOutcome",
+    "graceful_interrupts",
+    "lint_ledger",
+    "parse_fault_spec",
+    "parse_ledger",
+    "run_key",
+    "run_supervised",
+]

@@ -1,0 +1,229 @@
+"""Deterministic, seed-driven fault injection for durable campaigns.
+
+Chaos testing only works when the chaos is reproducible: the same
+:class:`FaultPlan` must fire the same faults at the same blocks on every
+run, in the parent process and in any worker, regardless of scheduling.
+So every injection decision is a pure function of
+``(plan.seed, fault kind, unit label, block index, attempt)`` — hashed
+through SHA-256 and compared against the configured rate — and never
+consults a clock, a PID, or global RNG state.
+
+Keying decisions on the *attempt* number is what lets supervised retries
+converge: a block that crashes on attempt 0 re-rolls on attempt 1, and
+``max_faults_per_block`` caps how many attempts may fault at all, so a
+bounded-retry supervisor always wins eventually.  Tests that want a
+fault to be unrecoverable simply raise the rate to 1.0 and the cap above
+the retry budget.
+
+The plan is duck-typed into the execution layers rather than imported by
+them: ``repro.sim.engine.run_block`` calls ``check_decode``, the durable
+supervisor calls ``apply``, and the ledger calls ``check_torn_write`` —
+production code paths never import this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FaultPlan",
+    "InjectedChunkError",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedHang",
+    "InjectedTornWrite",
+    "parse_fault_spec",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Base class for every injected failure (never raised itself)."""
+
+
+class InjectedCrash(InjectedFault):
+    """Stands in for a worker process dying (inline mode only).
+
+    In pool mode the worker genuinely exits via ``os._exit``; inline
+    (workers=1) execution raises this instead so the parent survives.
+    """
+
+
+class InjectedHang(InjectedFault):
+    """Stands in for a hung worker when sleeping is impractical."""
+
+
+class InjectedChunkError(InjectedFault):
+    """An ordinary in-band exception from block execution."""
+
+
+class InjectedTornWrite(InjectedFault):
+    """The process 'died' mid-ledger-append, leaving a torn tail line."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of injected failures.
+
+    Rates are per-(unit, block, attempt) probabilities in ``[0, 1]``;
+    a rate of 0 disables that fault kind.  ``abort_after`` requests a
+    clean stop (a simulated SIGTERM) after N blocks have executed —
+    the hook tests and CI use to cut a campaign at a chosen prefix.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    exc_rate: float = 0.0
+    decode_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    abort_after: int | None = None
+    hang_seconds: float = 3600.0
+    #: attempts >= this cap never fault, so bounded retry always converges
+    max_faults_per_block: int = 2
+    only_blocks: tuple[int, ...] | None = None
+
+    #: mutable execution counter shared through a one-element list so the
+    #: frozen dataclass can still track how many blocks have run
+    _executed: list = field(default_factory=lambda: [0], repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # Decision function
+    # ------------------------------------------------------------------
+    def _roll(self, kind: str, unit: str, block: int, attempt: int) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}|{kind}|{unit}|{block}|{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def _fires(self, kind: str, rate: float, unit: str, block: int, attempt: int) -> bool:
+        if rate <= 0.0:
+            return False
+        if attempt >= self.max_faults_per_block:
+            return False
+        if self.only_blocks is not None and block not in self.only_blocks:
+            return False
+        return self._roll(kind, unit, block, attempt) < rate
+
+    # ------------------------------------------------------------------
+    # Injection points
+    # ------------------------------------------------------------------
+    def apply(self, unit: str, block: int, attempt: int, *, inline: bool = False) -> None:
+        """Fire worker-level faults for one block execution, if scheduled.
+
+        Called at the top of block execution.  ``inline`` chooses the
+        crash mechanism: worker processes genuinely ``os._exit`` (so the
+        supervisor sees a dead process, exactly like a real crash), while
+        inline execution raises :class:`InjectedCrash` so the caller's
+        process survives to handle it.
+        """
+        if self._fires("crash", self.crash_rate, unit, block, attempt):
+            if inline:
+                raise InjectedCrash(
+                    f"injected crash: unit={unit!r} block={block} attempt={attempt}"
+                )
+            os._exit(77)
+        if self._fires("hang", self.hang_rate, unit, block, attempt):
+            if inline:
+                raise InjectedHang(
+                    f"injected hang: unit={unit!r} block={block} attempt={attempt}"
+                )
+            time.sleep(self.hang_seconds)
+        if self._fires("exc", self.exc_rate, unit, block, attempt):
+            raise InjectedChunkError(
+                f"injected chunk exception: unit={unit!r} block={block} "
+                f"attempt={attempt}"
+            )
+
+    def check_decode(self, unit: str, block: int) -> None:
+        """Fire a decode-tier fault (attempt-independent; see run_block).
+
+        Decode faults model a tier assertion, which the engine degrades
+        around (tier-free full decode) rather than retries — so there is
+        no attempt axis and the fault fires identically every time the
+        block runs.  The graceful-degradation path keeps the error count
+        bit-identical either way.
+        """
+        if self._fires("decode", self.decode_rate, unit, block, 0):
+            raise InjectedChunkError(
+                f"injected decode-tier fault: unit={unit!r} block={block}"
+            )
+
+    def check_torn_write(self, unit: str, block: int, generation: int) -> None:
+        """Fire a torn ledger append, keyed by the ledger's repair count.
+
+        ``generation`` (how many torn tails the ledger has already
+        repaired) takes the attempt slot, so after a resume repairs the
+        tail the same append re-rolls instead of tearing forever.
+        """
+        if self._fires("torn", self.torn_write_rate, unit, block, generation):
+            raise InjectedTornWrite(
+                f"injected torn write: unit={unit!r} block={block} "
+                f"generation={generation}"
+            )
+
+    def note_block_executed(self) -> bool:
+        """Count one executed block; True when ``abort_after`` is reached."""
+        self._executed[0] += 1
+        return self.abort_after is not None and self._executed[0] >= self.abort_after
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a ``key=value,...`` chaos spec into a :class:`FaultPlan`.
+
+    Keys: ``crash``, ``hang``, ``exc``, ``decode``, ``torn`` (rates in
+    [0,1]); ``seed``, ``abort`` (ints); ``hang-seconds``, and
+    ``max-faults`` / ``only`` for the convergence knobs.  Example::
+
+        crash=0.15,hang=0.08,seed=7
+        abort=3,seed=7
+    """
+    rates = {
+        "crash": "crash_rate",
+        "hang": "hang_rate",
+        "exc": "exc_rate",
+        "decode": "decode_rate",
+        "torn": "torn_write_rate",
+    }
+    kwargs: dict = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"bad fault spec entry {part!r}: expected key=value")
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        try:
+            if key in rates:
+                rate = float(value)
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError
+                kwargs[rates[key]] = rate
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "abort":
+                kwargs["abort_after"] = int(value)
+            elif key == "hang-seconds":
+                kwargs["hang_seconds"] = float(value)
+            elif key == "max-faults":
+                kwargs["max_faults_per_block"] = int(value)
+            elif key == "only":
+                kwargs["only_blocks"] = tuple(
+                    int(b) for b in value.split("+") if b
+                )
+            else:
+                raise ValueError(
+                    f"unknown fault spec key {key!r}; options: "
+                    f"{sorted(rates) + ['seed', 'abort', 'hang-seconds', 'max-faults', 'only']}"
+                )
+        except ValueError as exc:
+            if exc.args and "fault spec" in str(exc):
+                raise
+            raise ValueError(
+                f"bad fault spec value for {key!r}: {value!r}"
+            ) from None
+    return FaultPlan(**kwargs)

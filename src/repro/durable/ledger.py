@@ -1,0 +1,455 @@
+"""Append-only JSONL run ledger: the durability substrate of campaigns.
+
+One ledger file records one campaign.  Line 1 is a ``header`` record
+carrying the run key — the SHA-256 of the canonical JSON encoding of the
+campaign spec (program, distance, noise parameters, seed, backend,
+shots, ...) — so a resume against the wrong spec is rejected instead of
+silently mixing incompatible blocks.  Every subsequent line is one of:
+
+``block``
+    One completed shot block: ``unit`` label, ``block`` index, ``shots``,
+    ``errors`` and the decode-tier ``stats`` dict.  Fully deterministic —
+    no timestamps, hostnames or durations — and serialized with sorted
+    keys, so the block records of two runs of the same spec are
+    byte-comparable (CI diffs them).
+``unit``
+    A unit summary reconciling the shot accounting:
+    ``completed + quarantined == scheduled`` block indices, total errors
+    and shots over completed blocks, and the early-stopping decision.
+``event``
+    Operational history (retries, quarantines, interrupts, tail
+    repairs).  Events carry no result data and are excluded from
+    byte-level run comparisons.
+
+**Durability rule: a record is durable iff its line is newline
+terminated.**  A process dying mid-append leaves a torn (unterminated)
+tail, which reopening tolerates: the tail is truncated away and a
+``repair`` event is logged.  Any *other* malformation — an interior line
+that does not parse, a newline-terminated line of invalid JSON, a
+duplicate block — is corruption, not a crash artifact, and raises
+:class:`LedgerError` naming the 1-based line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "LEDGER_VERSION",
+    "LedgerError",
+    "ParsedLedger",
+    "RunLedger",
+    "lint_ledger",
+    "parse_ledger",
+    "run_key",
+]
+
+#: Schema version stamped into every header record.
+LEDGER_VERSION = 1
+
+
+class LedgerError(RuntimeError):
+    """The ledger is corrupted or does not match the requested campaign."""
+
+
+def _canonical(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def run_key(spec: dict) -> str:
+    """Content hash identifying a campaign: SHA-256 of the canonical spec.
+
+    Two invocations share a ledger iff they agree on every spec field —
+    program, distance, noise parameters, seed, backend, shots, policy —
+    so a resumed run provably continues the *same* computation.
+    """
+    return hashlib.sha256(_canonical(spec).encode()).hexdigest()
+
+
+@dataclass
+class ParsedLedger:
+    """Validated contents of a ledger file."""
+
+    header: dict
+    #: unit label -> {block index -> block record}
+    blocks: dict[str, dict[int, dict]]
+    #: unit label -> unit summary record
+    units: dict[str, dict]
+    events: list[dict]
+    #: bytes of durable (newline-terminated, valid) content
+    good_bytes: int
+    #: True when a torn (unterminated) tail line was found and skipped
+    torn_tail: bool
+    repair_generation: int
+
+
+def parse_ledger(path: str | Path) -> ParsedLedger:
+    """Parse and validate a ledger file.
+
+    Tolerates exactly one crash artifact — a torn final line with no
+    trailing newline.  Everything else inconsistent raises
+    :class:`LedgerError` with the 1-based line number.
+    """
+    raw = Path(path).read_bytes()
+    lines = raw.split(b"\n")
+    tail = lines.pop()  # b"" when the file ends in a newline
+    torn_tail = bool(tail)
+    good_bytes = len(raw) - len(tail)
+
+    if not lines:
+        raise LedgerError(f"{path}: empty ledger (no durable header line)")
+
+    header: dict | None = None
+    blocks: dict[str, dict[int, dict]] = {}
+    units: dict[str, dict] = {}
+    events: list[dict] = []
+    repairs = 0
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise LedgerError(
+                f"{path}: line {lineno}: corrupted record (invalid JSON "
+                f"in a newline-terminated line is corruption, not a torn "
+                f"write): {exc}"
+            ) from None
+        if not isinstance(record, dict) or "kind" not in record:
+            raise LedgerError(
+                f"{path}: line {lineno}: corrupted record (expected an "
+                f"object with a 'kind' field)"
+            )
+        kind = record["kind"]
+        if lineno == 1:
+            if kind != "header" or "key" not in record:
+                raise LedgerError(
+                    f"{path}: line 1: expected a header record with a run "
+                    f"key, got kind={kind!r}"
+                )
+            header = record
+            continue
+        if kind == "header":
+            raise LedgerError(f"{path}: line {lineno}: duplicate header record")
+        if kind == "block":
+            unit = record["unit"]
+            index = record["block"]
+            per_unit = blocks.setdefault(unit, {})
+            if index in per_unit:
+                raise LedgerError(
+                    f"{path}: line {lineno}: duplicate block record for "
+                    f"unit {unit!r} block {index}"
+                )
+            per_unit[index] = record
+        elif kind == "unit":
+            units[record["unit"]] = record
+        elif kind == "event":
+            events.append(record)
+            if record.get("event") == "repair":
+                repairs += 1
+        else:
+            raise LedgerError(
+                f"{path}: line {lineno}: unknown record kind {kind!r}"
+            )
+    if header is None:
+        raise LedgerError(f"{path}: missing header record")
+    return ParsedLedger(
+        header=header,
+        blocks=blocks,
+        units=units,
+        events=events,
+        good_bytes=good_bytes,
+        torn_tail=torn_tail,
+        repair_generation=repairs,
+    )
+
+
+class RunLedger:
+    """Appendable checkpoint stream for one campaign.
+
+    Opening an existing path resumes it: the file is parsed, a torn tail
+    (if any) is truncated away and logged as a ``repair`` event, and the
+    header's run key is checked against ``run_key(spec)`` — a mismatch
+    is a hard error, because blocks from a different spec are not
+    comparable, let alone summable.
+
+    Every append is one ``os.fsync``-free buffered write of a full line
+    followed by ``flush()``; the newline-terminated-iff-durable rule
+    (module docstring) is what makes that safe.
+    """
+
+    def __init__(self, path: str | Path, spec: dict, *, fault=None):
+        self.path = Path(path)
+        self.spec = spec
+        self.key = run_key(spec)
+        self.fault = fault
+        self.repair_generation = 0
+        #: blocks already durable from a previous run of this campaign
+        self.prior_blocks: dict[str, dict[int, dict]] = {}
+        self.prior_units: dict[str, dict] = {}
+        self.resumed = False
+
+        if self.path.exists() and self.path.stat().st_size > 0:
+            parsed = parse_ledger(self.path)
+            if parsed.header["key"] != self.key:
+                raise LedgerError(
+                    f"{self.path}: ledger belongs to a different campaign "
+                    f"(header key {parsed.header['key'][:12]}..., this spec "
+                    f"hashes to {self.key[:12]}...); refusing to mix "
+                    f"incompatible blocks"
+                )
+            self.prior_blocks = parsed.blocks
+            self.prior_units = parsed.units
+            self.repair_generation = parsed.repair_generation
+            self.resumed = True
+            if parsed.torn_tail:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(parsed.good_bytes)
+                self.repair_generation += 1
+            self._fh: io.TextIOBase = open(self.path, "a", encoding="utf-8")
+            if parsed.torn_tail:
+                self.record_event("repair", generation=self.repair_generation)
+        else:
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._append(
+                {
+                    "kind": "header",
+                    "version": LEDGER_VERSION,
+                    "key": self.key,
+                    "spec": spec,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        self._fh.write(_canonical(record) + "\n")
+        self._fh.flush()
+
+    def record_block(
+        self, unit: str, block: int, shots: int, errors: int, stats: dict
+    ) -> None:
+        """Checkpoint one completed block (the durable unit of progress)."""
+        record = {
+            "kind": "block",
+            "unit": unit,
+            "block": block,
+            "shots": shots,
+            "errors": errors,
+            "stats": stats,
+        }
+        if self.fault is not None:
+            try:
+                self.fault.check_torn_write(unit, block, self.repair_generation)
+            except Exception:
+                # Simulate dying mid-append: write a prefix of the line
+                # with no terminating newline, then surface the fault.
+                line = _canonical(record)
+                self._fh.write(line[: max(1, len(line) // 2)])
+                self._fh.flush()
+                raise
+        self._append(record)
+
+    def record_unit(
+        self,
+        unit: str,
+        *,
+        scheduled: int,
+        completed: list[int],
+        quarantined: list[int],
+        errors: int,
+        shots: int,
+        stopped_early: bool,
+    ) -> None:
+        self._append(
+            {
+                "kind": "unit",
+                "unit": unit,
+                "scheduled": scheduled,
+                "completed": completed,
+                "quarantined": quarantined,
+                "errors": errors,
+                "shots": shots,
+                "stopped_early": stopped_early,
+            }
+        )
+
+    def record_event(self, event: str, **fields) -> None:
+        self._append({"kind": "event", "event": event, **fields})
+
+    def prior_unit_blocks(self, unit: str) -> dict[int, dict]:
+        """Blocks of ``unit`` already durable from an earlier run."""
+        return self.prior_blocks.get(unit, {})
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> RunLedger:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def lint_ledger(path: str | Path):
+    """Consistency-check a ledger file; returns a ``LintReport``.
+
+    Structural problems surface as LED00x diagnostics instead of
+    exceptions, so the lint gate reports every finding at once:
+
+    - LED001/002/003: header / corruption / duplicates (from the parser)
+    - LED004: a block whose decode-tier counts do not sum to ``unique``
+    - LED005: a unit summary whose accounting does not reconcile with
+      its block records (completed + quarantined == scheduled; error and
+      shot totals match the completed blocks)
+    - LED006 (warning): torn tail found — tolerated, but worth knowing
+    - LED007 (warning): incomplete campaign (blocks without a unit
+      summary) or surplus blocks beyond a unit's early stop
+    """
+    # Imported lazily: durable must stay importable without the analyze
+    # subsystem and vice versa.
+    from repro.analyze.diagnostics import Diagnostic, LintReport
+    from repro.decoders.batch import TIER_NAMES
+
+    report = LintReport()
+    try:
+        parsed = parse_ledger(path)
+    except FileNotFoundError:
+        report.extend(
+            [Diagnostic("LED001", "error", str(path), "ledger file not found")]
+        )
+        return report
+    except LedgerError as exc:
+        message = str(exc)
+        code = "LED001" if "header" in message else "LED002"
+        if "duplicate block" in message:
+            code = "LED003"
+        report.extend([Diagnostic(code, "error", str(path), message)])
+        return report
+
+    report.count("ledger_blocks", sum(len(b) for b in parsed.blocks.values()))
+    report.count("ledger_units", len(parsed.units))
+    if parsed.torn_tail:
+        report.extend(
+            [
+                Diagnostic(
+                    "LED006",
+                    "warning",
+                    str(path),
+                    "torn (unterminated) tail line present; it will be "
+                    "truncated and repaired on the next resume",
+                )
+            ]
+        )
+
+    for unit, per_unit in sorted(parsed.blocks.items()):
+        for index, record in sorted(per_unit.items()):
+            stats = record.get("stats", {})
+            tier_sum = sum(stats.get(t, 0) for t in TIER_NAMES)
+            if tier_sum != stats.get("unique", 0):
+                report.extend(
+                    [
+                        Diagnostic(
+                            "LED004",
+                            "error",
+                            f"{path}:{unit}",
+                            f"block {index}: decode tiers sum to {tier_sum} "
+                            f"but unique={stats.get('unique', 0)}",
+                        )
+                    ]
+                )
+            if stats.get("shots") != record.get("shots"):
+                report.extend(
+                    [
+                        Diagnostic(
+                            "LED004",
+                            "error",
+                            f"{path}:{unit}",
+                            f"block {index}: stats shots={stats.get('shots')} "
+                            f"but block shots={record.get('shots')}",
+                        )
+                    ]
+                )
+
+    for unit, summary in sorted(parsed.units.items()):
+        per_unit = parsed.blocks.get(unit, {})
+        completed = summary.get("completed", [])
+        quarantined = summary.get("quarantined", [])
+        if len(completed) + len(quarantined) != summary.get("scheduled", -1):
+            report.extend(
+                [
+                    Diagnostic(
+                        "LED005",
+                        "error",
+                        f"{path}:{unit}",
+                        f"summary does not reconcile: {len(completed)} "
+                        f"completed + {len(quarantined)} quarantined != "
+                        f"{summary.get('scheduled')} scheduled",
+                    )
+                ]
+            )
+        missing = [i for i in completed if i not in per_unit]
+        if missing:
+            report.extend(
+                [
+                    Diagnostic(
+                        "LED005",
+                        "error",
+                        f"{path}:{unit}",
+                        f"summary lists completed blocks with no block "
+                        f"record: {missing}",
+                    )
+                ]
+            )
+        else:
+            errors = sum(per_unit[i]["errors"] for i in completed)
+            shots = sum(per_unit[i]["shots"] for i in completed)
+            if errors != summary.get("errors") or shots != summary.get("shots"):
+                report.extend(
+                    [
+                        Diagnostic(
+                            "LED005",
+                            "error",
+                            f"{path}:{unit}",
+                            f"summary totals errors={summary.get('errors')} "
+                            f"shots={summary.get('shots')} do not match the "
+                            f"completed block records "
+                            f"(errors={errors}, shots={shots})",
+                        )
+                    ]
+                )
+        surplus = sorted(set(per_unit) - set(completed) - set(quarantined))
+        if surplus:
+            report.extend(
+                [
+                    Diagnostic(
+                        "LED007",
+                        "warning",
+                        f"{path}:{unit}",
+                        f"{len(surplus)} block record(s) beyond the unit's "
+                        f"accounted set (orphans of an early stop or "
+                        f"interrupt): {surplus}",
+                    )
+                ]
+            )
+
+    unsummarized = sorted(set(parsed.blocks) - set(parsed.units))
+    if unsummarized:
+        report.extend(
+            [
+                Diagnostic(
+                    "LED007",
+                    "warning",
+                    str(path),
+                    f"incomplete campaign: {len(unsummarized)} unit(s) have "
+                    f"block records but no summary (interrupted run): "
+                    f"{unsummarized}",
+                )
+            ]
+        )
+    return report

@@ -1,0 +1,374 @@
+"""Supervised block execution: timeouts, retry with backoff, quarantine.
+
+``multiprocessing.Pool`` cannot express the failure model durable
+campaigns need — a hung worker blocks ``imap`` forever, and a crashed
+worker poisons the pool.  This module runs raw ``Process`` workers, each
+with its own task queue and a shared result queue, under a parent-side
+supervisor that:
+
+- enforces a **per-block deadline** (``RetryPolicy.block_timeout``) and
+  checks ``Process.is_alive`` every poll tick, so hangs and crashes are
+  both detected within one tick;
+- on failure **terminates and respawns** the worker, then re-queues the
+  block with **bounded retry** — deterministic exponential backoff with
+  hash-derived jitter (no global RNG, so supervision never perturbs the
+  sampled physics);
+- after ``max_attempts`` failures **quarantines** the block: it is
+  reported in the outcome (and the ledger) rather than silently dropped,
+  keeping ``completed + quarantined == scheduled`` reconcilable;
+- ignores **late results** from attempts it already timed out (a
+  ``handled`` set keyed by ``(block, attempt)``), so a race between a
+  slow worker and its deadline can never double-count a block.
+
+Because every block's result is a pure function of ``(circuit, seed,
+index)`` (see ``repro.sim.engine.run_block``), none of this machinery
+can change the answer — retries re-execute bit-identical work, and the
+completion order only affects scheduling, never the sums.
+
+With ``workers == 1`` the same contract runs inline: injected crashes
+arrive as :class:`~repro.durable.faults.InjectedCrash` exceptions
+instead of dead processes, and hangs as :class:`InjectedHang` instead of
+stuck deadlines, so the retry/quarantine logic is identical and testable
+without a pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import queue as queue_mod
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro.durable.faults import InjectedHang
+from repro.sim.engine import run_block
+
+__all__ = ["BlockOutcome", "RetryPolicy", "SupervisedResult", "run_supervised"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Supervision knobs (all deterministic; no RNG anywhere)."""
+
+    #: seconds a single block attempt may run before the worker is killed
+    block_timeout: float = 300.0
+    #: attempts per block before quarantine (1 = no retries)
+    max_attempts: int = 3
+    #: backoff base: attempt k waits ~ base * 2**k seconds (plus jitter)
+    retry_base_delay: float = 0.05
+    #: cap on the exponential backoff
+    retry_max_delay: float = 2.0
+
+    def backoff(self, unit: str, index: int, attempt: int) -> float:
+        """Deterministic exponential backoff with hash-derived jitter.
+
+        The jitter de-synchronizes retries of different blocks without
+        consuming any random stream the physics could observe.
+        """
+        base = min(self.retry_max_delay, self.retry_base_delay * (2.0**attempt))
+        digest = hashlib.sha256(f"backoff|{unit}|{index}|{attempt}".encode()).digest()
+        jitter = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + 0.25 * jitter)
+
+
+@dataclass
+class BlockOutcome:
+    """Result of supervising one block to completion or quarantine."""
+
+    index: int
+    shots: int
+    errors: int = 0
+    stats: dict = field(default_factory=dict)
+    attempts: int = 1
+    quarantined: bool = False
+    failure: str = ""
+
+
+@dataclass
+class SupervisedResult:
+    """What happened to one batch of scheduled blocks."""
+
+    completed: list[BlockOutcome] = field(default_factory=list)
+    quarantined: list[BlockOutcome] = field(default_factory=list)
+    retries: int = 0
+    #: True when a stop was requested before every block was executed
+    aborted: bool = False
+
+
+def _worker_main(wid: int, task_q, result_q, worker_args, fault) -> None:
+    """Worker loop: execute blocks from my queue until the None sentinel.
+
+    Failures are reported in-band; a genuinely dying worker (injected
+    ``os._exit`` or a real crash) is detected by the parent's liveness
+    check instead.
+    """
+    # Forked workers inherit the parent's graceful-interrupt handlers,
+    # under which SIGTERM merely requests a stop — so the supervisor's
+    # ``terminate()`` would not actually kill a hung worker.  Restore the
+    # default SIGTERM disposition and ignore SIGINT (a terminal Ctrl-C
+    # signals the whole process group; the parent drains us instead).
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    sampler, decoder, basis_ids, obs_ids = worker_args
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        unit, index, shots, seed, attempt = task
+        try:
+            if fault is not None:
+                fault.apply(unit, index, attempt, inline=False)
+            errors, stats = run_block(
+                sampler,
+                decoder,
+                basis_ids,
+                obs_ids,
+                index,
+                shots,
+                seed,
+                fault=fault,
+                unit=unit,
+            )
+            result_q.put(("ok", wid, index, attempt, errors, stats))
+        except Exception as exc:  # report and keep serving
+            result_q.put(("err", wid, index, attempt, f"{type(exc).__name__}: {exc}"))
+
+
+def run_supervised(
+    blocks,
+    worker_args,
+    *,
+    unit: str,
+    workers: int = 1,
+    policy: RetryPolicy | None = None,
+    fault=None,
+    on_block_done=None,
+    on_event=None,
+    should_abort=None,
+) -> SupervisedResult:
+    """Execute ``(index, shots, seed)`` blocks under supervision.
+
+    ``on_block_done(outcome) -> bool`` is called in the parent as each
+    block completes (the runner checkpoints it to the ledger there);
+    returning True requests a graceful stop — in-flight blocks drain,
+    unstarted ones are left for a future resume.  ``should_abort()`` is
+    polled for externally-requested stops (signal handlers).
+    ``on_event(kind, **fields)`` observes retries and quarantines.
+    """
+    policy = policy or RetryPolicy()
+    emit = on_event or (lambda kind, **fields: None)
+    result = SupervisedResult()
+    stop = False
+
+    def block_done(outcome: BlockOutcome) -> None:
+        nonlocal stop
+        result.completed.append(outcome)
+        if on_block_done is not None and on_block_done(outcome):
+            stop = True
+
+    def fail(index: int, shots: int, attempt: int, reason: str) -> tuple | None:
+        """Register one failed attempt; return the retry task or None."""
+        next_attempt = attempt + 1
+        if next_attempt >= policy.max_attempts:
+            outcome = BlockOutcome(
+                index=index,
+                shots=shots,
+                attempts=next_attempt,
+                quarantined=True,
+                failure=reason,
+            )
+            result.quarantined.append(outcome)
+            emit(
+                "quarantine",
+                unit=unit,
+                block=index,
+                attempts=next_attempt,
+                reason=reason,
+            )
+            return None
+        result.retries += 1
+        delay = policy.backoff(unit, index, attempt)
+        emit(
+            "retry",
+            unit=unit,
+            block=index,
+            attempt=next_attempt,
+            delay=round(delay, 4),
+            reason=reason,
+        )
+        return (index, next_attempt, delay)
+
+    if workers <= 1:
+        _run_inline(blocks, worker_args, unit, policy, fault, block_done, fail,
+                    should_abort, result, lambda: stop)
+        return result
+
+    _run_pool(blocks, worker_args, unit, workers, policy, fault, block_done,
+              fail, should_abort, result, lambda: stop)
+    return result
+
+
+def _run_inline(
+    blocks, worker_args, unit, policy, fault, block_done, fail, should_abort,
+    result, stopped,
+) -> None:
+    sampler, decoder, basis_ids, obs_ids = worker_args
+    pending = [(index, shots, seed, 0) for index, shots, seed in blocks]
+    while pending:
+        if stopped() or (should_abort is not None and should_abort()):
+            result.aborted = True
+            return
+        index, shots, seed, attempt = pending.pop(0)
+        try:
+            if fault is not None:
+                fault.apply(unit, index, attempt, inline=True)
+            errors, stats = run_block(
+                sampler, decoder, basis_ids, obs_ids, index, shots, seed,
+                fault=fault, unit=unit,
+            )
+        except InjectedHang as exc:
+            retry = fail(index, shots, attempt, f"timeout: {exc}")
+            if retry is not None:
+                time.sleep(retry[2])
+                pending.insert(0, (index, shots, seed, retry[1]))
+            continue
+        except Exception as exc:
+            retry = fail(index, shots, attempt, f"{type(exc).__name__}: {exc}")
+            if retry is not None:
+                time.sleep(retry[2])
+                pending.insert(0, (index, shots, seed, retry[1]))
+            continue
+        block_done(
+            BlockOutcome(
+                index=index, shots=shots, errors=errors, stats=stats,
+                attempts=attempt + 1,
+            )
+        )
+
+
+def _run_pool(
+    blocks, worker_args, unit, workers, policy, fault, block_done, fail,
+    should_abort, result, stopped,
+) -> None:
+    ctx = multiprocessing.get_context()
+    result_q = ctx.Queue()
+    by_index = {index: (shots, seed) for index, shots, seed in blocks}
+
+    def spawn(wid: int) -> dict:
+        task_q = ctx.Queue()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(wid, task_q, result_q, worker_args, fault),
+            daemon=True,
+        )
+        proc.start()
+        return {"proc": proc, "q": task_q, "busy": None}
+
+    slots = [spawn(wid) for wid in range(min(workers, max(1, len(blocks))))]
+    #: (ready_at, index, attempt) tasks not yet handed to a worker
+    pending: list[tuple[float, int, int]] = [(0.0, index, 0) for index, _, _ in blocks]
+    handled: set[tuple[int, int]] = set()
+    draining = False
+
+    try:
+        while True:
+            now = time.monotonic()
+            if not draining and (
+                stopped() or (should_abort is not None and should_abort())
+            ):
+                draining = True
+                result.aborted = bool(pending) or any(
+                    s["busy"] is not None for s in slots
+                )
+
+            # Hand ready tasks to idle workers.
+            if not draining:
+                for slot in slots:
+                    if slot["busy"] is not None or not pending:
+                        continue
+                    ready = [t for t in pending if t[0] <= now]
+                    if not ready:
+                        continue
+                    task = min(ready)
+                    pending.remove(task)
+                    _, index, attempt = task
+                    shots, seed = by_index[index]
+                    slot["q"].put((unit, index, shots, seed, attempt))
+                    slot["busy"] = (index, attempt, now + policy.block_timeout)
+
+            busy = any(slot["busy"] is not None for slot in slots)
+            if not busy and (draining or not pending):
+                break
+
+            # Drain one result (short timeout doubles as the poll tick).
+            try:
+                message = result_q.get(timeout=0.05)
+            except (queue_mod.Empty, EOFError, OSError):
+                message = None
+            if message is not None:
+                kind, wid, index, attempt, *payload = message
+                slot = slots[wid]
+                if (index, attempt) in handled:
+                    pass  # late result from an attempt we already failed
+                else:
+                    handled.add((index, attempt))
+                    shots, _ = by_index[index]
+                    if kind == "ok":
+                        errors, stats = payload
+                        block_done(
+                            BlockOutcome(
+                                index=index, shots=shots, errors=errors,
+                                stats=stats, attempts=attempt + 1,
+                            )
+                        )
+                    else:
+                        retry = fail(index, shots, attempt, payload[0])
+                        if retry is not None and not draining:
+                            pending.append(
+                                (time.monotonic() + retry[2], index, retry[1])
+                            )
+                if slot["busy"] is not None and slot["busy"][0] == index:
+                    slot["busy"] = None
+
+            # Deadline / liveness sweep: kill and respawn stuck workers.
+            now = time.monotonic()
+            for wid, slot in enumerate(slots):
+                busy_entry = slot["busy"]
+                dead = not slot["proc"].is_alive()
+                timed_out = busy_entry is not None and now > busy_entry[2]
+                if not dead and not timed_out:
+                    continue
+                slot["proc"].terminate()
+                slot["proc"].join(timeout=5.0)
+                if busy_entry is not None:
+                    index, attempt, _ = busy_entry
+                    if (index, attempt) not in handled:
+                        handled.add((index, attempt))
+                        shots, _ = by_index[index]
+                        reason = (
+                            f"worker {wid} exceeded {policy.block_timeout}s "
+                            f"block timeout"
+                            if timed_out and not dead
+                            else f"worker {wid} died (exitcode "
+                            f"{slot['proc'].exitcode})"
+                        )
+                        retry = fail(index, shots, attempt, reason)
+                        if retry is not None and not draining:
+                            pending.append(
+                                (time.monotonic() + retry[2], index, retry[1])
+                            )
+                slots[wid] = spawn(wid)
+    finally:
+        for slot in slots:
+            try:
+                slot["q"].put_nowait(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for slot in slots:
+            slot["proc"].join(timeout=max(0.1, deadline - time.monotonic()))
+            if slot["proc"].is_alive():
+                slot["proc"].terminate()
+                slot["proc"].join(timeout=1.0)
+        result_q.cancel_join_thread()

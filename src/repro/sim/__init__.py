@@ -3,11 +3,15 @@
 from repro.sim.compiled import CompiledCircuit, compile_circuit
 from repro.sim.engine import (
     BACKENDS,
+    BlockExecutionError,
     DEFAULT_CHUNK_SIZE,
     SHOT_BLOCK,
     accumulate_decode_stats,
+    block_seeds,
     count_logical_errors,
+    decode_block_full,
     make_sampler,
+    run_block,
     shot_blocks,
 )
 from repro.sim.frame import (
@@ -25,6 +29,7 @@ from repro.sim.stats import wilson_interval
 
 __all__ = [
     "BACKENDS",
+    "BlockExecutionError",
     "CompiledCircuit",
     "DEFAULT_CHUNK_SIZE",
     "DecodingSetup",
@@ -32,10 +37,13 @@ __all__ = [
     "LogicalErrorResult",
     "SHOT_BLOCK",
     "accumulate_decode_stats",
+    "block_seeds",
     "compile_circuit",
     "count_logical_errors",
+    "decode_block_full",
     "make_sampler",
     "prepare_decoding",
+    "run_block",
     "run_memory_experiment",
     "sample_detection_chunks",
     "sample_detection_data",

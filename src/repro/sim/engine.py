@@ -40,17 +40,21 @@ from typing import Sequence
 import numpy as np
 
 from repro.circuits import Circuit
-from repro.decoders.batch import SyndromeDecoder
+from repro.decoders.batch import TIER_NAMES, SyndromeDecoder
 from repro.sim.compiled import compile_circuit
 from repro.sim.frame import DetectionData, sample_detection_data
 
 __all__ = [
     "BACKENDS",
+    "BlockExecutionError",
     "DEFAULT_CHUNK_SIZE",
     "SHOT_BLOCK",
     "accumulate_decode_stats",
+    "block_seeds",
     "count_logical_errors",
+    "decode_block_full",
     "make_sampler",
+    "run_block",
     "shot_blocks",
 ]
 
@@ -77,6 +81,44 @@ def shot_blocks(shots: int) -> list[int]:
     if shots % SHOT_BLOCK:
         sizes.append(shots % SHOT_BLOCK)
     return sizes
+
+
+def block_seeds(
+    shots: int, seed: int | None = None
+) -> list[tuple[int, int, np.random.SeedSequence]]:
+    """The canonical ``(index, shots, SeedSequence)`` triple per block.
+
+    This is the engine's entire RNG contract in one place: block ``i``
+    of an ``shots``-shot run at ``seed`` always receives the ``i``-th
+    spawn of ``SeedSequence(seed)``, so a block's sampled data is a pure
+    function of ``(circuit, seed, i)`` — the addressable unit of work
+    that durable/resumable campaigns checkpoint.
+    """
+    sizes = shot_blocks(shots)
+    seeds = np.random.SeedSequence(seed).spawn(len(sizes))
+    return list(zip(range(len(sizes)), sizes, seeds))
+
+
+def _seed_label(seed: np.random.SeedSequence) -> str:
+    return f"entropy={seed.entropy}, spawn_key={seed.spawn_key}"
+
+
+class BlockExecutionError(RuntimeError):
+    """A shot block (or chunk of blocks) failed inside the engine.
+
+    The message pins the failing block index and its SeedSequence
+    identity so the failure is reproducible from the message alone —
+    replay with ``run_block`` at that index, no pool required.
+    """
+
+    def __init__(self, message: str, block: int, seed_label: str):
+        super().__init__(message)
+        self.block = block
+        self.seed_label = seed_label
+
+    def __reduce__(self):
+        # Keep the custom fields across pickling (worker -> pool parent).
+        return (type(self), (str(self), self.block, self.seed_label))
 
 
 class _ReferenceSampler:
@@ -116,27 +158,144 @@ def _run_chunk(
     decoder: SyndromeDecoder,
     basis_ids: Sequence[int],
     obs_ids: Sequence[int],
-    blocks: list[tuple[int, np.random.SeedSequence]],
+    blocks: list[tuple[int, int, np.random.SeedSequence]],
 ) -> tuple[int, dict[str, int]]:
-    """Sample, decode and score one chunk.
+    """Sample, decode and score one chunk of ``(index, shots, seed)`` blocks.
 
     Returns the chunk's logical-error count and the decode-tier occupancy
     of its ``decode_batch`` call (see ``repro.decoders.batch.TIER_NAMES``).
+    Any failure is re-raised as :class:`BlockExecutionError` carrying the
+    block index and seed, so a poisoned block is reproducible from the
+    message alone instead of a bare pool traceback.
     """
     # Preallocate the chunk's syndrome array and fill block-by-block, so
     # peak detector memory really is the documented one-chunk bound (a
     # concatenate of per-block slices would transiently double it).
-    chunk_shots = sum(block_shots for block_shots, _ in blocks)
+    chunk_shots = sum(block_shots for _, block_shots, _ in blocks)
     dets = np.empty((chunk_shots, len(basis_ids)), dtype=bool)
     actual = np.empty(chunk_shots, dtype=np.int64)
     at = 0
-    for block_shots, seed in blocks:
-        data = sampler.sample(block_shots, seed)
-        dets[at : at + data.shots] = data.detectors[:, basis_ids]
-        actual[at : at + data.shots] = _pack_observables(data.observables, obs_ids)
+    for index, block_shots, seed in blocks:
+        try:
+            data = sampler.sample(block_shots, seed)
+            dets[at : at + data.shots] = data.detectors[:, basis_ids]
+            actual[at : at + data.shots] = _pack_observables(data.observables, obs_ids)
+        except Exception as exc:
+            raise BlockExecutionError(
+                f"sampling block {index} ({_seed_label(seed)}) failed: {exc!r}",
+                index,
+                _seed_label(seed),
+            ) from exc
         at += data.shots
-    predictions = decoder.decode_batch(dets)
+    try:
+        predictions = decoder.decode_batch(dets)
+    except Exception as exc:
+        first_index, _, first_seed = blocks[0]
+        last_index = blocks[-1][0]
+        raise BlockExecutionError(
+            f"decoding chunk of blocks {first_index}..{last_index} "
+            f"(first block {_seed_label(first_seed)}) failed: {exc!r}",
+            first_index,
+            _seed_label(first_seed),
+        ) from exc
     stats = decoder.last_batch_stats or {}
+    return int(np.count_nonzero(predictions != actual)), stats
+
+
+def decode_block_full(
+    decoder: SyndromeDecoder, dets: np.ndarray
+) -> tuple[np.ndarray, dict[str, int]]:
+    """Tier-free fallback decode: every unique syndrome through ``decode``.
+
+    The graceful-degradation path for durable blocks — when the tiered
+    dispatcher raises (a tier assertion, or an injected decode fault),
+    the block is re-decoded with nothing but the full decoder, which the
+    tiers are provably equivalent to, so the error count is preserved.
+    Stats keep the tier-sum == unique identity with everything heavy in
+    ``full``.
+    """
+    dets = np.asarray(dets, dtype=bool)
+    shots = dets.shape[0]
+    packed = (
+        np.packbits(dets, axis=1) if dets.shape[1] else np.zeros((shots, 0), np.uint8)
+    )
+    _, index, inverse = np.unique(packed, axis=0, return_index=True, return_inverse=True)
+    unique_dets = dets[index]
+    predictions = np.zeros(len(index), dtype=np.int64)
+    trivial = 0
+    for k in range(len(index)):
+        events = np.flatnonzero(unique_dets[k])
+        if events.size == 0:
+            trivial += 1
+            continue
+        predictions[k] = decoder._checked_decode(events.tolist())
+    stats = {tier: 0 for tier in TIER_NAMES}
+    stats["trivial"] = trivial
+    stats["full"] = len(index) - trivial
+    stats["unique"] = len(index)
+    stats["shots"] = shots
+    return predictions[np.asarray(inverse).ravel()], stats
+
+
+def run_block(
+    sampler,
+    decoder: SyndromeDecoder,
+    basis_ids: Sequence[int],
+    obs_ids: Sequence[int],
+    index: int,
+    block_shots: int,
+    seed: np.random.SeedSequence,
+    *,
+    fresh_decoder_state: bool = True,
+    fault=None,
+    unit: str = "",
+) -> tuple[int, dict[str, int]]:
+    """Sample, decode and score ONE shot block — the durable unit of work.
+
+    With ``fresh_decoder_state`` (the default) the decoder's cross-batch
+    LRU is cleared first, so the returned ``(errors, stats)`` pair is a
+    pure function of ``(sampler, seed, index)`` — bit-identical no matter
+    which worker runs the block, in what order, or after which others.
+    That purity is what makes checkpointed results safe to resume from
+    and byte-comparable across interrupted and uninterrupted runs.
+
+    ``fault`` is an optional fault-injection hook (duck-typed; see
+    ``repro.durable.faults.FaultPlan``): ``fault.check_decode(unit,
+    index)`` may raise to simulate a decode-tier failure, which — like a
+    real tier assertion — degrades gracefully to the tier-free
+    :func:`decode_block_full` fallback instead of failing the block.
+    """
+    if fresh_decoder_state:
+        decoder.reset_batch_state()
+    try:
+        data = sampler.sample(block_shots, seed)
+        dets = data.detectors[:, basis_ids]
+        actual = _pack_observables(data.observables, obs_ids)
+    except Exception as exc:
+        raise BlockExecutionError(
+            f"sampling block {index} ({_seed_label(seed)}) failed: {exc!r}",
+            index,
+            _seed_label(seed),
+        ) from exc
+    fallback = False
+    try:
+        if fault is not None:
+            fault.check_decode(unit, index)
+        predictions = decoder.decode_batch(dets)
+        stats = dict(decoder.last_batch_stats or {})
+    except Exception:
+        try:
+            predictions, stats = decode_block_full(decoder, dets)
+            fallback = True
+        except Exception as exc:
+            raise BlockExecutionError(
+                f"decoding block {index} ({_seed_label(seed)}) failed even "
+                f"in the tier-free fallback: {exc!r}",
+                index,
+                _seed_label(seed),
+            ) from exc
+    if fallback:
+        stats["fallback"] = 1
     return int(np.count_nonzero(predictions != actual)), stats
 
 
@@ -223,9 +382,7 @@ def count_logical_errors(
         )
     if sampler is None:
         sampler = make_sampler(circuit, backend)
-    sizes = shot_blocks(shots)
-    seeds = np.random.SeedSequence(seed).spawn(len(sizes))
-    blocks = list(zip(sizes, seeds))
+    blocks = block_seeds(shots, seed)
     per_chunk = max(1, chunk_size // SHOT_BLOCK)
     chunks = [blocks[i : i + per_chunk] for i in range(0, len(blocks), per_chunk)]
 

@@ -108,6 +108,8 @@ def run_memory_experiment(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     backend: str = "packed",
     decode_stats: dict | None = None,
+    executor=None,
+    unit: str = "memory",
 ) -> LogicalErrorResult:
     """Estimate the logical error rate of a memory circuit.
 
@@ -137,21 +139,43 @@ def run_memory_experiment(
         here additionally accumulates this run's stats into it, so
         callers can sum across several runs without aliasing any single
         result's per-run record.
+    executor:
+        Optional durable executor (``repro.durable.DurableExecutor``,
+        duck-typed via its ``count`` method).  When given, the run is
+        checkpointed block-by-block to the executor's ledger under the
+        ``unit`` label and can resume after interruption; ``workers``
+        and supervision policy come from the executor, and quarantined
+        blocks are excluded from ``shots`` (see EXPERIMENTS.md,
+        "Durability & determinism contract").
     """
     setup = prepare_decoding(memory, decoder)
     stats: dict = {}
-    errors = count_logical_errors(
-        memory.circuit,
-        setup.decoder,
-        setup.basis_detectors,
-        setup.basis_observables,
-        shots,
-        seed=seed,
-        workers=workers,
-        chunk_size=chunk_size,
-        backend=backend,
-        decode_stats=stats,
-    )
+    if executor is not None:
+        outcome = executor.count(
+            unit=unit,
+            circuit=memory.circuit,
+            decoder=setup.decoder,
+            basis_ids=setup.basis_detectors,
+            obs_ids=setup.basis_observables,
+            shots=shots,
+            seed=seed,
+            backend=backend,
+            decode_stats=stats,
+        )
+        errors, shots = outcome.errors, outcome.shots
+    else:
+        errors = count_logical_errors(
+            memory.circuit,
+            setup.decoder,
+            setup.basis_detectors,
+            setup.basis_observables,
+            shots,
+            seed=seed,
+            workers=workers,
+            chunk_size=chunk_size,
+            backend=backend,
+            decode_stats=stats,
+        )
     if decode_stats is not None:
         accumulate_decode_stats(decode_stats, stats)
     return LogicalErrorResult(

@@ -199,12 +199,16 @@ def estimate_threshold(
     workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     backend: str = "packed",
+    executor=None,
 ) -> ThresholdStudy:
     """Sweep p × d for one scheme and return the full study.
 
     ``workers``, ``chunk_size`` and ``backend`` are forwarded to the
     Monte-Carlo engine; the first two change runtime and memory, never
     the measured counts (``backend`` selects a canonical random stream).
+    ``executor`` (optional durable executor) checkpoints every sweep
+    point under a ``scheme/d…/p…`` unit label, making the whole study
+    resumable.
     Decode-tier occupancy is accumulated across every point onto the
     study's ``decode_stats`` (per-point breakdowns stay on each result).
 
@@ -244,6 +248,8 @@ def estimate_threshold(
                 workers=workers,
                 chunk_size=chunk_size,
                 backend=backend,
+                executor=executor,
+                unit=f"{scheme}/d{d}/p{i}",
             )
             accumulate_decode_stats(study.decode_stats, result.decode_stats)
             row.append(result)

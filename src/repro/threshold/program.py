@@ -85,6 +85,7 @@ def estimate_program_threshold(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     backend: str = "packed",
     program_name: str = "program",
+    executor=None,
 ) -> ProgramThresholdStudy:
     """Sweep p × d for one program and return the full study.
 
@@ -92,7 +93,9 @@ def estimate_program_threshold(
     sweep point per physical error rate, all distances in one campaign
     so the lowering/decoder caches are shared within a point.  With
     ``correlated=True`` the swept quantity is the joint (merged-window)
-    ``p_program`` instead of the independence product.
+    ``p_program`` instead of the independence product.  ``executor``
+    makes the sweep durable; each point's units are namespaced
+    ``p<i>/...`` so the shared ledger stays collision-free.
     """
     study = ProgramThresholdStudy(
         program_name=program_name,
@@ -121,6 +124,7 @@ def estimate_program_threshold(
             backend=backend,
             program_name=program_name,
             correlated=correlated,
+            executor=None if executor is None else executor.with_prefix(f"p{i}/"),
         )
         for row in comparison.rows:
             rate = (

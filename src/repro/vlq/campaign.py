@@ -252,6 +252,7 @@ def run_program_experiment(
     oracle_cert: bool = False,
     joint_cache: BuildCache | None = None,
     joint_graph_cache: BuildCache | None = None,
+    executor=None,
 ) -> ProgramExperimentResult:
     """Compile, lower and Monte-Carlo one program on one machine.
 
@@ -277,6 +278,13 @@ def run_program_experiment(
     same proof to every distinct single-qubit lowering; ``oracle_cert``
     additionally cross-checks each certified circuit against the
     sampled stabilizer-tableau oracle (the CLI's ``--oracle-cert``).
+
+    ``executor`` (optional, duck-typed ``repro.durable.DurableExecutor``)
+    runs every unit through the durable checkpointing path: each
+    qubit/pair gets a stable unit label inside the executor's ledger, so
+    an interrupted campaign resumes mid-program without redoing finished
+    qubits — and without touching the build caches, which are repopulated
+    deterministically per shape on the resumed process.
     """
     if refresh not in REFRESH_POLICIES:
         raise ValueError(f"refresh must be one of {REFRESH_POLICIES}")
@@ -331,19 +339,36 @@ def run_program_experiment(
             lambda memory=memory: prepare_decoding(memory, decoder),
         )
         stats: dict = {}
-        errors = count_logical_errors(
-            memory.circuit,
-            setup.decoder,
-            setup.basis_detectors,
-            setup.basis_observables,
-            shots,
-            seed=None if seed is None else seed + _QUBIT_SEED_STRIDE * index,
-            workers=workers,
-            chunk_size=chunk_size,
-            backend=backend,
-            decode_stats=stats,
-            sampler=sampler,
-        )
+        unit_seed = None if seed is None else seed + _QUBIT_SEED_STRIDE * index
+        if executor is not None:
+            outcome = executor.count(
+                unit=f"{machine.embedding}/{refresh}/d{machine.distance}/q{qubit}",
+                circuit=memory.circuit,
+                decoder=setup.decoder,
+                basis_ids=setup.basis_detectors,
+                obs_ids=setup.basis_observables,
+                shots=shots,
+                seed=unit_seed,
+                backend=backend,
+                decode_stats=stats,
+                sampler=sampler,
+            )
+            errors, unit_shots = outcome.errors, outcome.shots
+        else:
+            unit_shots = shots
+            errors = count_logical_errors(
+                memory.circuit,
+                setup.decoder,
+                setup.basis_detectors,
+                setup.basis_observables,
+                shots,
+                seed=unit_seed,
+                workers=workers,
+                chunk_size=chunk_size,
+                backend=backend,
+                decode_stats=stats,
+                sampler=sampler,
+            )
         accumulate_decode_stats(decode_totals, stats)
         per_qubit.append(
             QubitExperiment(
@@ -354,7 +379,7 @@ def run_program_experiment(
                     basis=memory.basis,
                     distance=machine.distance,
                     rounds=memory.rounds,
-                    shots=shots,
+                    shots=unit_shots,
                     logical_errors=errors,
                     undetectable_probability=setup.graph.undetectable_probability,
                     decoder=decoder,
@@ -395,19 +420,39 @@ def run_program_experiment(
                 lambda memory=memory: prepare_decoding(memory, decoder),
             )
             stats = {}
-            errors = count_logical_errors(
-                memory.circuit,
-                setup.decoder,
-                setup.basis_detectors,
-                setup.basis_observables,
-                shots,
-                seed=None if seed is None else seed + _PAIR_SEED_STRIDE * (index + 1),
-                workers=workers,
-                chunk_size=chunk_size,
-                backend=backend,
-                decode_stats=stats,
-                sampler=sampler,
-            )
+            pair_seed = None if seed is None else seed + _PAIR_SEED_STRIDE * (index + 1)
+            if executor is not None:
+                outcome = executor.count(
+                    unit=(
+                        f"{machine.embedding}/{refresh}/d{machine.distance}"
+                        f"/pair{index}:q{qa}+q{qb}"
+                    ),
+                    circuit=memory.circuit,
+                    decoder=setup.decoder,
+                    basis_ids=setup.basis_detectors,
+                    obs_ids=setup.basis_observables,
+                    shots=shots,
+                    seed=pair_seed,
+                    backend=backend,
+                    decode_stats=stats,
+                    sampler=sampler,
+                )
+                errors, pair_shots = outcome.errors, outcome.shots
+            else:
+                pair_shots = shots
+                errors = count_logical_errors(
+                    memory.circuit,
+                    setup.decoder,
+                    setup.basis_detectors,
+                    setup.basis_observables,
+                    shots,
+                    seed=pair_seed,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    backend=backend,
+                    decode_stats=stats,
+                    sampler=sampler,
+                )
             accumulate_decode_stats(decode_totals, stats)
             pieces.append(
                 PieceExperiment(
@@ -419,7 +464,7 @@ def run_program_experiment(
                         basis=memory.basis,
                         distance=machine.distance,
                         rounds=memory.rounds,
-                        shots=shots,
+                        shots=pair_shots,
                         logical_errors=errors,
                         undetectable_probability=setup.graph.undetectable_probability,
                         decoder=decoder,
@@ -567,6 +612,7 @@ def compare_architectures(
     window_noise_scale: float = 1.0,
     certify_joint: bool = True,
     oracle_cert: bool = False,
+    executor=None,
 ) -> ArchitectureComparison:
     """Run the end-to-end architecture comparison for one program.
 
@@ -575,6 +621,11 @@ def compare_architectures(
     caches (and, in correlated mode, the joint-shape caches) are shared
     across the whole sweep, so any shape recurrence — across qubits,
     pairs, policies or embeddings — is built exactly once.
+
+    ``executor`` makes the sweep durable: unit labels already encode
+    (embedding, refresh, distance, qubit/pair), so every sweep point
+    checkpoints into one shared ledger and an interrupted comparison
+    resumes exactly where it stopped.
     """
     modes = MEMORY_HARDWARE.cavity_modes if cavity_modes is None else cavity_modes
     lowering_cache = BuildCache("lowering")
@@ -615,6 +666,7 @@ def compare_architectures(
                         oracle_cert=oracle_cert,
                         joint_cache=joint_cache,
                         joint_graph_cache=joint_graph_cache,
+                        executor=executor,
                     )
                 )
     return ArchitectureComparison(
