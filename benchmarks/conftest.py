@@ -24,13 +24,18 @@ def merge_bench_json(path: Path, sections: dict) -> None:
     """Update ``sections`` of a bench JSON file, preserving the rest.
 
     Several benches share BENCH_engine.json; each owns its top-level
-    keys and must not clobber the others'.
+    keys and must not clobber the others'.  The write is atomic (temp
+    file + ``os.replace``) — the same durability rule the run ledger
+    enforces — so a crash mid-bench leaves either the old file or the
+    new one, never a torn JSON that breaks every later merge.
     """
     merged = {}
     if path.exists():
         merged = json.loads(path.read_text())
     merged.update(sections)
-    path.write_text(json.dumps(merged, indent=2) + "\n")
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(merged, indent=2) + "\n")
+    os.replace(tmp, path)
 
 
 def workers(default: int = 1) -> int:

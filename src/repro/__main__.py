@@ -17,7 +17,16 @@ Commands
                 schedule dataflow checks and decoder-graph validation
                 (``--json`` for machine-readable output; exit code 1 on
                 any error-severity finding); ``--ledger`` adds durable
-                run-ledger consistency checks
+                run-ledger consistency checks (a file, or a service
+                directory to lint every ledger in it)
+``serve``       run the long-lived campaign service: persistent
+                supervised worker fleet + shared caches serving queued
+                jobs over HTTP, with admission control, a circuit
+                breaker, crash-safe restart recovery, and graceful
+                drain (exit 130) on SIGTERM
+``submit``      submit a JSON campaign spec to a running service
+``status``      show one service job's record
+``wait``        block until a service job reaches a terminal state
 
 The campaign commands (``threshold``/``memory``/``compare``) accept
 ``--ledger`` for durable, checkpointed execution: per-block results are
@@ -382,7 +391,8 @@ def _cmd_threshold(args) -> int:
 def _cmd_memory(args) -> int:
     from repro.decoders import TIER_NAMES
     from repro.noise import ErrorModel
-    from repro.sim import DEFAULT_CHUNK_SIZE, SHOT_BLOCK, run_memory_experiment
+    from repro.service.specs import build_memory_spec
+    from repro.sim import DEFAULT_CHUNK_SIZE, run_memory_experiment
     from repro.threshold import build_memory_circuit
     from repro.threshold.estimator import default_hardware_for
 
@@ -394,12 +404,13 @@ def _cmd_memory(args) -> int:
     memory = build_memory_circuit(
         args.scheme, args.distance, model, basis=args.basis, rounds=args.rounds
     )
-    spec = {
-        "command": "memory", "scheme": args.scheme, "distance": args.distance,
-        "p": args.p, "rounds": args.rounds, "basis": args.basis,
-        "shots": args.shots, "seed": args.seed, "decoder": args.decoder,
-        "backend": args.backend, "shot_block": SHOT_BLOCK, "version": 1,
-    }
+    # Shared with the service so CLI and HTTP submissions of the same
+    # campaign hash to the same run key (and hence the same ledger).
+    spec = build_memory_spec(
+        scheme=args.scheme, distance=args.distance, p=args.p,
+        rounds=args.rounds, basis=args.basis, shots=args.shots,
+        seed=args.seed, decoder=args.decoder, backend=args.backend,
+    )
 
     def body(executor) -> int:
         result = run_memory_experiment(
@@ -425,26 +436,25 @@ def _cmd_memory(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    from repro.sim import SHOT_BLOCK
+    from repro.service.specs import build_compare_spec
     from repro.vlq import build_program
 
     program = build_program(args.program, args.qubits)
     embeddings = ("compact", "natural") if args.embedding == "both" else (args.embedding,)
     refreshes = ("dram", "none") if args.refresh == "both" else (args.refresh,)
-    # Correlated mode exists to model surgery windows; unless the user
-    # pins a policy, force every CNOT onto the lattice-surgery path so
-    # there is a joint error surface to measure.
-    policy = args.policy or ("surgery_only" if args.correlated else "auto")
-    spec = {
-        "command": "compare", "program": args.program, "qubits": args.qubits,
-        "correlated": args.correlated, "policy": policy,
-        "distances": list(args.distance), "p": args.p, "shots": args.shots,
-        "grid": args.grid, "embeddings": list(embeddings),
-        "refresh_policies": list(refreshes),
-        "rounds_per_timestep": args.rounds_per_timestep, "seed": args.seed,
-        "decoder": args.decoder, "backend": args.backend,
-        "shot_block": SHOT_BLOCK, "version": 1,
-    }
+    # Shared with the service (same run key for the same campaign); the
+    # builder resolves policy=None exactly as before — surgery_only when
+    # correlated (so there is a joint error surface to measure), else
+    # auto.
+    spec = build_compare_spec(
+        program=args.program, qubits=args.qubits, correlated=args.correlated,
+        policy=args.policy, distances=list(args.distance), p=args.p,
+        shots=args.shots, grid=args.grid, embeddings=list(embeddings),
+        refresh_policies=list(refreshes),
+        rounds_per_timestep=args.rounds_per_timestep, seed=args.seed,
+        decoder=args.decoder, backend=args.backend,
+    )
+    policy = spec["policy"]
 
     def body(executor) -> int:
         return _compare_body(args, executor, program, embeddings, refreshes, policy)
@@ -552,13 +562,18 @@ def _cmd_lint(args) -> int:
             oracle=args.oracle_cert,
         )
     if args.ledger is not None:
-        from repro.durable import lint_ledger
+        from repro.durable import lint_ledger, lint_ledger_dir
 
-        ledger_report = lint_ledger(args.ledger)
+        if os.path.isdir(args.ledger):
+            # A service directory: lint every *.jsonl ledger in it with
+            # per-file diagnostics (plus the filename/run-key check).
+            ledger_report = lint_ledger_dir(args.ledger)
+        else:
+            ledger_report = lint_ledger(args.ledger)
+            ledger_report.count("ledgers")
         report.extend(ledger_report.diagnostics)
         for what, n in ledger_report.checked.items():
             report.count(what, n)
-        report.count("ledgers")
     output = report.to_json() if args.json else report.format_text()
     print(output)
     if args.out is not None:
@@ -566,6 +581,109 @@ def _cmd_lint(args) -> int:
             handle.write(report.to_json())
             handle.write("\n")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args) -> int:
+    from repro.durable import RetryPolicy
+    from repro.service import serve_forever
+
+    return serve_forever(
+        directory=args.dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        policy=RetryPolicy(
+            block_timeout=args.block_timeout,
+            max_attempts=args.max_attempts,
+            retry_base_delay=args.retry_base_delay,
+        ),
+        fault=args.chaos,
+        job_timeout=args.job_timeout,
+        breaker_threshold=args.breaker_threshold,
+        chunk_size=args.chunk_size,
+        verbose=args.verbose,
+    )
+
+
+def _service_url(args) -> str | None:
+    from repro.service import read_service_address
+
+    if args.url is not None:
+        return args.url
+    if args.dir is not None:
+        try:
+            return read_service_address(args.dir)
+        except (FileNotFoundError, KeyError, ValueError):
+            print(f"error: no service.json under {args.dir} (is the server "
+                  f"running with --dir {args.dir}?)", file=sys.stderr)
+            return None
+    print("error: pass --url or --dir to locate the service", file=sys.stderr)
+    return None
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    url = _service_url(args)
+    if url is None:
+        return 2
+    try:
+        payload = _json.loads(args.json)
+    except _json.JSONDecodeError as exc:
+        print(f"error: invalid --json payload: {exc}", file=sys.stderr)
+        return 2
+    client = ServiceClient(url)
+    code, body = client.submit(payload)
+    print(_json.dumps(body, indent=2, sort_keys=True))
+    if code not in (200, 202):
+        # Explicit admission rejection (400/409/429/503) — never a hang.
+        return 1
+    if not args.wait:
+        return 0
+    job = client.wait(body["id"], timeout=args.timeout)
+    print(_json.dumps(job, indent=2, sort_keys=True))
+    return 0 if job["state"] == "done" else 1
+
+
+def _cmd_status(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    url = _service_url(args)
+    if url is None:
+        return 2
+    code, body = ServiceClient(url).status(args.id)
+    print(_json.dumps(body, indent=2, sort_keys=True))
+    return 0 if code == 200 else 1
+
+
+def _cmd_wait(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    url = _service_url(args)
+    if url is None:
+        return 2
+    try:
+        job = ServiceClient(url).wait(args.id, timeout=args.timeout)
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(_json.dumps(job, indent=2, sort_keys=True))
+    return 0 if job["state"] == "done" else 1
+
+
+def _add_service_client_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--url", default=None,
+                        help="service base URL, e.g. http://127.0.0.1:8642")
+    parser.add_argument("--dir", default=None, metavar="PATH",
+                        help="service directory; the server's address is "
+                             "read from its service.json")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -676,10 +794,73 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument("--ledger", default=None, metavar="PATH",
                       help="additionally consistency-check a durable run "
                            "ledger (LED00x diagnostics: header/corruption, "
-                           "tier accounting, unit reconciliation)")
+                           "tier accounting, unit reconciliation); a "
+                           "directory lints every *.jsonl ledger in it")
     lint.add_argument("--ledger-only", action="store_true",
                       help="lint only the --ledger file, skipping the preset "
                            "matrix")
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived campaign service: persistent "
+                      "supervised worker fleet, shared caches, durable "
+                      "crash-safe jobs over HTTP (drains and exits 130 on "
+                      "SIGTERM)"
+    )
+    serve.add_argument("--dir", required=True, metavar="PATH",
+                       help="service directory for job records and run "
+                            "ledgers; restarting against the same directory "
+                            "resumes in-flight jobs bit-identically")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; the bound port is "
+                            "published in <dir>/service.json)")
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="persistent fleet size (1 = run jobs inline)")
+    serve.add_argument("--queue-limit", type=_positive_int, default=16,
+                       help="max queued jobs before submissions get an "
+                            "explicit 429 (admission control)")
+    serve.add_argument("--job-timeout", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock budget; an over-budget job "
+                            "checkpoints and fails explicitly")
+    serve.add_argument("--breaker-threshold", type=_positive_int, default=3,
+                       help="failed runs of one spec before its circuit "
+                            "breaker opens (submissions get 409)")
+    serve.add_argument("--chunk-size", type=_positive_int, default=None)
+    serve.add_argument("--block-timeout", type=_positive_float, default=300.0,
+                       metavar="SECONDS")
+    serve.add_argument("--max-attempts", type=_positive_int, default=3)
+    serve.add_argument("--retry-base-delay", type=_positive_float, default=0.05,
+                       metavar="SECONDS")
+    serve.add_argument("--chaos", type=_fault_spec, default=None, metavar="SPEC",
+                       help="service-wide fault injection for chaos testing "
+                            "(same spec language as the campaign commands)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign spec to a running service"
+    )
+    _add_service_client_args(submit)
+    submit.add_argument("--json", required=True, metavar="SPEC",
+                        help="job payload as JSON, e.g. "
+                             "'{\"command\":\"memory\",\"shots\":2048}'")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job reaches a terminal state")
+    submit.add_argument("--timeout", type=_positive_float, default=600.0,
+                        metavar="SECONDS", help="deadline for --wait")
+
+    status = sub.add_parser("status", help="show one job's record")
+    _add_service_client_args(status)
+    status.add_argument("id", help="job id (the campaign's run key)")
+
+    wait = sub.add_parser(
+        "wait", help="block until a job reaches a terminal state"
+    )
+    _add_service_client_args(wait)
+    wait.add_argument("id", help="job id (the campaign's run key)")
+    wait.add_argument("--timeout", type=_positive_float, default=600.0,
+                      metavar="SECONDS")
 
     args = parser.parse_args(argv)
     return {
@@ -690,6 +871,10 @@ def main(argv: list[str] | None = None) -> int:
         "memory": _cmd_memory,
         "compare": _cmd_compare,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "wait": _cmd_wait,
     }[args.command](args)
 
 

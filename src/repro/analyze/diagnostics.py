@@ -28,6 +28,7 @@ LED004    ledger block's decode-tier accounting does not balance
 LED005    ledger unit summary does not reconcile with its blocks
 LED006    torn (unterminated) ledger tail tolerated  [warning]
 LED007    incomplete campaign or surplus blocks in ledger  [warning]
+LED008    ledger filename does not match its header run key  [warning]
 ========  ==============================================================
 """
 
@@ -62,6 +63,7 @@ CODES = {
     "LED005": "ledger unit summary does not reconcile",
     "LED006": "torn ledger tail tolerated",
     "LED007": "incomplete campaign or surplus ledger blocks",
+    "LED008": "ledger filename does not match its header run key",
 }
 
 
@@ -105,6 +107,12 @@ class LintReport:
 
     def count(self, what: str, n: int = 1) -> None:
         self.checked[what] = self.checked.get(what, 0) + n
+
+    def merge(self, other: "LintReport") -> None:
+        """Fold another report's findings and coverage into this one."""
+        self.diagnostics.extend(other.diagnostics)
+        for what, n in other.checked.items():
+            self.count(what, n)
 
     @property
     def errors(self) -> list[Diagnostic]:

@@ -25,8 +25,10 @@ from repro.durable.ledger import (
     ParsedLedger,
     RunLedger,
     lint_ledger,
+    lint_ledger_dir,
     parse_ledger,
     run_key,
+    scan_ledgers,
 )
 from repro.durable.runner import (
     DEFAULT_STOP_INTERVAL_BLOCKS,
@@ -39,6 +41,7 @@ from repro.durable.supervise import (
     BlockOutcome,
     RetryPolicy,
     SupervisedResult,
+    WorkerFleet,
     run_supervised,
 )
 
@@ -60,10 +63,13 @@ __all__ = [
     "RunLedger",
     "SupervisedResult",
     "UnitOutcome",
+    "WorkerFleet",
     "graceful_interrupts",
     "lint_ledger",
+    "lint_ledger_dir",
     "parse_fault_spec",
     "parse_ledger",
     "run_key",
     "run_supervised",
+    "scan_ledgers",
 ]

@@ -45,8 +45,10 @@ __all__ = [
     "ParsedLedger",
     "RunLedger",
     "lint_ledger",
+    "lint_ledger_dir",
     "parse_ledger",
     "run_key",
+    "scan_ledgers",
 ]
 
 #: Schema version stamped into every header record.
@@ -452,4 +454,79 @@ def lint_ledger(path: str | Path):
                 )
             ]
         )
+    return report
+
+
+def scan_ledgers(directory: str | Path) -> dict[str, "ParsedLedger | LedgerError"]:
+    """Parse every ``*.jsonl`` ledger in ``directory``.
+
+    Returns ``{run key or filename stem: ParsedLedger}`` for every file
+    that parses; files that fail validation map to their
+    :class:`LedgerError` instead of raising, so one corrupted ledger
+    never hides the rest (the service quarantines it and keeps serving).
+    Keys prefer the header's run key — the service names its ledgers
+    ``<run_key>.jsonl``, and the two agreeing is itself checked by the
+    directory lint.
+    """
+    directory = Path(directory)
+    found: dict[str, ParsedLedger | LedgerError] = {}
+    for path in sorted(directory.glob("*.jsonl")):
+        try:
+            parsed = parse_ledger(path)
+        except LedgerError as exc:
+            found[path.stem] = exc
+            continue
+        found[parsed.header.get("key", path.stem)] = parsed
+    return found
+
+
+def lint_ledger_dir(directory: str | Path):
+    """Lint every ``*.jsonl`` ledger in a directory (the service's dir).
+
+    Aggregates per-file :func:`lint_ledger` reports into one
+    ``LintReport`` — every diagnostic already names its file — plus:
+
+    - LED001 if the directory itself does not exist;
+    - LED008 (warning) when a ledger's filename stem disagrees with its
+      header run key (the service's ``<run_key>.jsonl`` convention),
+      which usually means a ledger was renamed or copied between specs.
+    """
+    from repro.analyze.diagnostics import Diagnostic, LintReport
+
+    directory = Path(directory)
+    report = LintReport()
+    if not directory.is_dir():
+        report.extend(
+            [
+                Diagnostic(
+                    "LED001",
+                    "error",
+                    str(directory),
+                    "ledger directory not found",
+                )
+            ]
+        )
+        return report
+    paths = sorted(directory.glob("*.jsonl"))
+    report.count("ledger_files", len(paths))
+    for path in paths:
+        report.merge(lint_ledger(path))
+        try:
+            parsed = parse_ledger(path)
+        except LedgerError:
+            continue  # already reported by lint_ledger
+        key = parsed.header.get("key", "")
+        if key and path.stem != key and not path.stem.startswith(key[:12]):
+            report.extend(
+                [
+                    Diagnostic(
+                        "LED008",
+                        "warning",
+                        str(path),
+                        f"filename stem {path.stem!r} does not match the "
+                        f"header run key {key[:12]}…; renamed or copied "
+                        f"ledger?",
+                    )
+                ]
+            )
     return report

@@ -106,6 +106,8 @@ class DurableExecutor:
         fault=None,
         target_ci_width: float | None = None,
         stop_interval_blocks: int = DEFAULT_STOP_INTERVAL_BLOCKS,
+        fleet=None,
+        on_block=None,
     ):
         self.ledger = ledger
         self.workers = workers
@@ -113,6 +115,16 @@ class DurableExecutor:
         self.fault = fault
         self.target_ci_width = target_ci_width
         self.stop_interval_blocks = max(1, stop_interval_blocks)
+        #: optional persistent :class:`~repro.durable.supervise.WorkerFleet`
+        #: — when set, units run on these long-lived workers instead of
+        #: spawning a pool per call (the campaign service shares one
+        #: fleet across every job it schedules)
+        self.fleet = fleet
+        #: optional progress observer called after each checkpointed
+        #: block with cumulative per-unit totals (the service streams
+        #: these as Wilson-interval updates); purely observational — it
+        #: sees only durable state and cannot alter results
+        self.on_block = on_block
         self.units: list[UnitOutcome] = []
         self.total_retries = 0
         self._stop_requested = False
@@ -208,6 +220,17 @@ class DurableExecutor:
                 "stats": outcome.stats,
             }
             executed += 1
+            if self.on_block is not None:
+                # Cumulative durable totals for this unit (resumed blocks
+                # included) — exactly what a Wilson interval needs.
+                self.on_block(
+                    unit=unit,
+                    block=outcome.index,
+                    errors=sum(d["errors"] for d in done.values()),
+                    shots=sum(d["shots"] for d in done.values()),
+                    completed_blocks=len(done),
+                    scheduled_blocks=len(blocks),
+                )
             if self.fault is not None and self.fault.note_block_executed():
                 self.request_stop("abort-after fault injection")
             return self._stop_requested
@@ -231,6 +254,7 @@ class DurableExecutor:
                         on_block_done=on_block_done,
                         on_event=self.ledger.record_event,
                         should_abort=lambda: self._stop_requested,
+                        fleet=self.fleet,
                     )
                 except InjectedTornWrite:
                     self.request_stop("torn-write")

@@ -18,18 +18,32 @@ supervisor that:
   keeping ``completed + quarantined == scheduled`` reconcilable;
 - ignores **late results** from attempts it already timed out (a
   ``handled`` set keyed by ``(block, attempt)``), so a race between a
-  slow worker and its deadline can never double-count a block.
+  slow worker and its deadline can never double-count a block.  The
+  dedup is attempt-exact on *both* sides: a late result for attempt
+  ``k`` never clears the deadline of a respawned worker already running
+  attempt ``k+1`` of the same block (the cross-respawn edge), so the
+  retry stays supervised and its result is counted exactly once.
+
+The workers themselves live in a :class:`WorkerFleet` — a persistent,
+reusable pool.  ``run_supervised`` spawns an ephemeral fleet when none
+is passed, preserving the one-shot behaviour; a long-lived caller (the
+campaign service, ``repro.service``) passes its own fleet so the same
+worker processes serve many units and many jobs.  Each
+:meth:`WorkerFleet.configure` call starts a new *epoch* and ships the
+unit's ``worker_args`` to every worker; tasks and results are tagged
+with the epoch, so a straggler result from a previous unit can never be
+mistaken for current work.
 
 Because every block's result is a pure function of ``(circuit, seed,
 index)`` (see ``repro.sim.engine.run_block``), none of this machinery
 can change the answer — retries re-execute bit-identical work, and the
 completion order only affects scheduling, never the sums.
 
-With ``workers == 1`` the same contract runs inline: injected crashes
-arrive as :class:`~repro.durable.faults.InjectedCrash` exceptions
-instead of dead processes, and hangs as :class:`InjectedHang` instead of
-stuck deadlines, so the retry/quarantine logic is identical and testable
-without a pool.
+With ``workers == 1`` and no fleet the same contract runs inline:
+injected crashes arrive as :class:`~repro.durable.faults.InjectedCrash`
+exceptions instead of dead processes, and hangs as :class:`InjectedHang`
+instead of stuck deadlines, so the retry/quarantine logic is identical
+and testable without a pool.
 """
 
 from __future__ import annotations
@@ -44,7 +58,13 @@ from dataclasses import dataclass, field
 from repro.durable.faults import InjectedHang
 from repro.sim.engine import run_block
 
-__all__ = ["BlockOutcome", "RetryPolicy", "SupervisedResult", "run_supervised"]
+__all__ = [
+    "BlockOutcome",
+    "RetryPolicy",
+    "SupervisedResult",
+    "WorkerFleet",
+    "run_supervised",
+]
 
 
 @dataclass(frozen=True)
@@ -96,12 +116,15 @@ class SupervisedResult:
     aborted: bool = False
 
 
-def _worker_main(wid: int, task_q, result_q, worker_args, fault) -> None:
-    """Worker loop: execute blocks from my queue until the None sentinel.
+def _worker_main(wid: int, task_q, result_q) -> None:
+    """Worker loop: serve ``cfg``/``task`` messages until the None sentinel.
 
-    Failures are reported in-band; a genuinely dying worker (injected
-    ``os._exit`` or a real crash) is detected by the parent's liveness
-    check instead.
+    A ``("cfg", epoch, worker_args, fault)`` message (re)arms the worker
+    for a new epoch; task messages from any other epoch are silently
+    dropped (they belong to a unit the supervisor already finished or
+    abandoned).  Failures are reported in-band; a genuinely dying worker
+    (injected ``os._exit`` or a real crash) is detected by the parent's
+    liveness check instead.
     """
     # Forked workers inherit the parent's graceful-interrupt handlers,
     # under which SIGTERM merely requests a stop — so the supervisor's
@@ -110,12 +133,19 @@ def _worker_main(wid: int, task_q, result_q, worker_args, fault) -> None:
     # signals the whole process group; the parent drains us instead).
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    sampler, decoder, basis_ids, obs_ids = worker_args
+    epoch = None
+    sampler = decoder = basis_ids = obs_ids = fault = None
     while True:
-        task = task_q.get()
-        if task is None:
+        message = task_q.get()
+        if message is None:
             return
-        unit, index, shots, seed, attempt = task
+        if message[0] == "cfg":
+            _, epoch, worker_args, fault = message
+            sampler, decoder, basis_ids, obs_ids = worker_args
+            continue
+        _, task_epoch, unit, index, shots, seed, attempt = message
+        if task_epoch != epoch:
+            continue  # task from an epoch this worker was never armed for
         try:
             if fault is not None:
                 fault.apply(unit, index, attempt, inline=False)
@@ -130,9 +160,124 @@ def _worker_main(wid: int, task_q, result_q, worker_args, fault) -> None:
                 fault=fault,
                 unit=unit,
             )
-            result_q.put(("ok", wid, index, attempt, errors, stats))
+            result_q.put(("ok", task_epoch, wid, index, attempt, errors, stats))
         except Exception as exc:  # report and keep serving
-            result_q.put(("err", wid, index, attempt, f"{type(exc).__name__}: {exc}"))
+            result_q.put(
+                ("err", task_epoch, wid, index, attempt, f"{type(exc).__name__}: {exc}")
+            )
+
+
+class WorkerFleet:
+    """A persistent, supervisable pool of block-execution workers.
+
+    The fleet owns the worker processes and nothing else: spawning,
+    respawning after a kill, configuration broadcast, and teardown.  The
+    per-call supervision logic (deadlines, retry, quarantine) lives in
+    :class:`_PoolSupervisor`, which *borrows* a fleet for the duration of
+    one ``run_supervised`` call.  Keeping the processes alive across
+    calls is what makes the campaign service's worker pool persistent:
+    one fleet serves every unit of every job, re-armed per unit via
+    :meth:`configure`.
+
+    Epochs: every ``configure`` increments ``epoch`` and ships the new
+    ``worker_args`` to each live worker.  Workers tag results with the
+    task's epoch, and both workers and supervisor drop cross-epoch
+    messages, so a result from a previous unit can never leak into the
+    current one.
+    """
+
+    def __init__(self, workers: int, *, context: str | None = None):
+        self._ctx = (
+            multiprocessing.get_context(context)
+            if context
+            else multiprocessing.get_context()
+        )
+        self.size = max(1, int(workers))
+        self.result_q = self._ctx.Queue()
+        self.epoch = 0
+        self.respawns = 0
+        self.closed = False
+        self._config: tuple | None = None  # (worker_args, fault) of this epoch
+        self.slots: list[dict] = [self._spawn(wid) for wid in range(self.size)]
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, wid: int) -> dict:
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, task_q, self.result_q),
+            daemon=True,
+        )
+        proc.start()
+        return {"proc": proc, "q": task_q, "busy": None}
+
+    def configure(self, worker_args, fault=None) -> int:
+        """Arm every worker for a new epoch; returns the epoch number."""
+        if self.closed:
+            raise RuntimeError("fleet is closed")
+        self.epoch += 1
+        self._config = (worker_args, fault)
+        for wid, slot in enumerate(self.slots):
+            slot["busy"] = None
+            if not slot["proc"].is_alive():
+                self.slots[wid] = slot = self._spawn(wid)
+                self.respawns += 1
+            slot["q"].put(("cfg", self.epoch, worker_args, fault))
+        return self.epoch
+
+    def respawn(self, wid: int) -> None:
+        """Terminate and replace one worker, re-arming it for the epoch."""
+        slot = self.slots[wid]
+        slot["proc"].terminate()
+        slot["proc"].join(timeout=5.0)
+        replacement = self._spawn(wid)
+        if self._config is not None:
+            replacement["q"].put(("cfg", self.epoch, *self._config))
+        self.slots[wid] = replacement
+        self.respawns += 1
+
+    # ------------------------------------------------------------------
+    # Introspection (the service's /healthz reads these)
+    # ------------------------------------------------------------------
+    def alive_workers(self) -> int:
+        return sum(1 for slot in self.slots if slot["proc"].is_alive())
+
+    def worker_pids(self) -> list[int]:
+        return [slot["proc"].pid for slot in self.slots]
+
+    def stats(self) -> dict:
+        return {
+            "size": self.size,
+            "alive": self.alive_workers(),
+            "respawns": self.respawns,
+            "epoch": self.epoch,
+        }
+
+    def close(self) -> None:
+        """Shut every worker down (sentinel, then escalate to terminate)."""
+        if self.closed:
+            return
+        self.closed = True
+        for slot in self.slots:
+            try:
+                slot["q"].put_nowait(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        for slot in self.slots:
+            slot["proc"].join(timeout=max(0.1, deadline - time.monotonic()))
+            if slot["proc"].is_alive():
+                slot["proc"].terminate()
+                slot["proc"].join(timeout=1.0)
+        self.result_q.cancel_join_thread()
+
+    def __enter__(self) -> WorkerFleet:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def run_supervised(
@@ -146,6 +291,7 @@ def run_supervised(
     on_block_done=None,
     on_event=None,
     should_abort=None,
+    fleet: WorkerFleet | None = None,
 ) -> SupervisedResult:
     """Execute ``(index, shots, seed)`` blocks under supervision.
 
@@ -155,6 +301,10 @@ def run_supervised(
     unstarted ones are left for a future resume.  ``should_abort()`` is
     polled for externally-requested stops (signal handlers).
     ``on_event(kind, **fields)`` observes retries and quarantines.
+
+    ``fleet`` reuses a persistent :class:`WorkerFleet` instead of
+    spawning processes for this call alone; the fleet is re-armed with
+    this call's ``worker_args`` and left running afterwards.
     """
     policy = policy or RetryPolicy()
     emit = on_event or (lambda kind, **fields: None)
@@ -199,13 +349,24 @@ def run_supervised(
         )
         return (index, next_attempt, delay)
 
-    if workers <= 1:
+    if fleet is None and workers <= 1:
         _run_inline(blocks, worker_args, unit, policy, fault, block_done, fail,
                     should_abort, result, lambda: stop)
         return result
 
-    _run_pool(blocks, worker_args, unit, workers, policy, fault, block_done,
-              fail, should_abort, result, lambda: stop)
+    owned = fleet is None
+    if owned:
+        fleet = WorkerFleet(min(workers, max(1, len(blocks))))
+    try:
+        supervisor = _PoolSupervisor(
+            fleet, blocks, worker_args, unit=unit, policy=policy, fault=fault,
+            block_done=block_done, fail=fail, should_abort=should_abort,
+            result=result, stopped=lambda: stop,
+        )
+        supervisor.run()
+    finally:
+        if owned:
+            fleet.close()
     return result
 
 
@@ -247,128 +408,147 @@ def _run_inline(
         )
 
 
-def _run_pool(
-    blocks, worker_args, unit, workers, policy, fault, block_done, fail,
-    should_abort, result, stopped,
-) -> None:
-    ctx = multiprocessing.get_context()
-    result_q = ctx.Queue()
-    by_index = {index: (shots, seed) for index, shots, seed in blocks}
+class _PoolSupervisor:
+    """One ``run_supervised`` call's supervision state over a fleet.
 
-    def spawn(wid: int) -> dict:
-        task_q = ctx.Queue()
-        proc = ctx.Process(
-            target=_worker_main,
-            args=(wid, task_q, result_q, worker_args, fault),
-            daemon=True,
-        )
-        proc.start()
-        return {"proc": proc, "q": task_q, "busy": None}
+    Extracted as a class so the message-handling and deadline-sweep
+    logic are unit-testable without racing real processes: tests drive
+    :meth:`assign`, :meth:`handle_message` and :meth:`sweep` directly
+    against a fake fleet to pin the late-result dedup edges (including
+    the cross-respawn case where a stale attempt's result must not
+    disturb the respawned worker's current attempt).
+    """
 
-    slots = [spawn(wid) for wid in range(min(workers, max(1, len(blocks))))]
-    #: (ready_at, index, attempt) tasks not yet handed to a worker
-    pending: list[tuple[float, int, int]] = [(0.0, index, 0) for index, _, _ in blocks]
-    handled: set[tuple[int, int]] = set()
-    draining = False
+    def __init__(
+        self, fleet, blocks, worker_args, *, unit, policy, fault, block_done,
+        fail, should_abort, result, stopped,
+    ):
+        self.fleet = fleet
+        self.unit = unit
+        self.policy = policy
+        self.block_done = block_done
+        self.fail = fail
+        self.should_abort = should_abort
+        self.result = result
+        self.stopped = stopped
+        self.by_index = {index: (shots, seed) for index, shots, seed in blocks}
+        self.epoch = fleet.configure(worker_args, fault)
+        #: (ready_at, index, attempt) tasks not yet handed to a worker
+        self.pending: list[tuple[float, int, int]] = [
+            (0.0, index, 0) for index, _, _ in blocks
+        ]
+        self.handled: set[tuple[int, int]] = set()
+        self.draining = False
 
-    try:
+    # ------------------------------------------------------------------
+    # The supervision loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
         while True:
             now = time.monotonic()
-            if not draining and (
-                stopped() or (should_abort is not None and should_abort())
+            if not self.draining and (
+                self.stopped()
+                or (self.should_abort is not None and self.should_abort())
             ):
-                draining = True
-                result.aborted = bool(pending) or any(
-                    s["busy"] is not None for s in slots
+                self.draining = True
+                self.result.aborted = bool(self.pending) or any(
+                    s["busy"] is not None for s in self.fleet.slots
                 )
 
-            # Hand ready tasks to idle workers.
-            if not draining:
-                for slot in slots:
-                    if slot["busy"] is not None or not pending:
-                        continue
-                    ready = [t for t in pending if t[0] <= now]
-                    if not ready:
-                        continue
-                    task = min(ready)
-                    pending.remove(task)
-                    _, index, attempt = task
-                    shots, seed = by_index[index]
-                    slot["q"].put((unit, index, shots, seed, attempt))
-                    slot["busy"] = (index, attempt, now + policy.block_timeout)
+            self.assign(now)
 
-            busy = any(slot["busy"] is not None for slot in slots)
-            if not busy and (draining or not pending):
+            busy = any(slot["busy"] is not None for slot in self.fleet.slots)
+            if not busy and (self.draining or not self.pending):
                 break
 
             # Drain one result (short timeout doubles as the poll tick).
             try:
-                message = result_q.get(timeout=0.05)
+                message = self.fleet.result_q.get(timeout=0.05)
             except (queue_mod.Empty, EOFError, OSError):
                 message = None
             if message is not None:
-                kind, wid, index, attempt, *payload = message
-                slot = slots[wid]
-                if (index, attempt) in handled:
-                    pass  # late result from an attempt we already failed
-                else:
-                    handled.add((index, attempt))
-                    shots, _ = by_index[index]
-                    if kind == "ok":
-                        errors, stats = payload
-                        block_done(
-                            BlockOutcome(
-                                index=index, shots=shots, errors=errors,
-                                stats=stats, attempts=attempt + 1,
-                            )
-                        )
-                    else:
-                        retry = fail(index, shots, attempt, payload[0])
-                        if retry is not None and not draining:
-                            pending.append(
-                                (time.monotonic() + retry[2], index, retry[1])
-                            )
-                if slot["busy"] is not None and slot["busy"][0] == index:
-                    slot["busy"] = None
+                self.handle_message(message)
 
-            # Deadline / liveness sweep: kill and respawn stuck workers.
-            now = time.monotonic()
-            for wid, slot in enumerate(slots):
-                busy_entry = slot["busy"]
-                dead = not slot["proc"].is_alive()
-                timed_out = busy_entry is not None and now > busy_entry[2]
-                if not dead and not timed_out:
-                    continue
-                slot["proc"].terminate()
-                slot["proc"].join(timeout=5.0)
-                if busy_entry is not None:
-                    index, attempt, _ = busy_entry
-                    if (index, attempt) not in handled:
-                        handled.add((index, attempt))
-                        shots, _ = by_index[index]
-                        reason = (
-                            f"worker {wid} exceeded {policy.block_timeout}s "
-                            f"block timeout"
-                            if timed_out and not dead
-                            else f"worker {wid} died (exitcode "
-                            f"{slot['proc'].exitcode})"
+            self.sweep(time.monotonic())
+
+    def assign(self, now: float) -> None:
+        """Hand ready pending tasks to idle workers."""
+        if self.draining:
+            return
+        for slot in self.fleet.slots:
+            if slot["busy"] is not None or not self.pending:
+                continue
+            ready = [t for t in self.pending if t[0] <= now]
+            if not ready:
+                continue
+            task = min(ready)
+            self.pending.remove(task)
+            _, index, attempt = task
+            shots, seed = self.by_index[index]
+            slot["q"].put(("task", self.epoch, self.unit, index, shots, seed, attempt))
+            slot["busy"] = (index, attempt, now + self.policy.block_timeout)
+
+    def handle_message(self, message) -> None:
+        """Process one worker result, deduplicating late/stale arrivals.
+
+        Dedup is attempt-exact on both sides of the bookkeeping:
+
+        - a ``(block, attempt)`` already in ``handled`` (its deadline
+          fired, or it already completed) is ignored entirely — in
+          particular it must NOT clear the slot's ``busy`` entry, which
+          by now may belong to a *later attempt* of the same block on a
+          respawned worker (the cross-respawn edge: clearing it would
+          un-supervise the retry and let its work be lost or assigned
+          twice);
+        - results from another epoch (a previous unit of a shared
+          fleet) are dropped before any bookkeeping at all.
+        """
+        kind, epoch, wid, index, attempt, *payload = message
+        if epoch != self.epoch:
+            return  # straggler from a previous unit on a shared fleet
+        slot = self.fleet.slots[wid]
+        if (index, attempt) in self.handled:
+            return  # late result from an attempt we already failed
+        self.handled.add((index, attempt))
+        shots, _ = self.by_index[index]
+        if kind == "ok":
+            errors, stats = payload
+            self.block_done(
+                BlockOutcome(
+                    index=index, shots=shots, errors=errors,
+                    stats=stats, attempts=attempt + 1,
+                )
+            )
+        else:
+            retry = self.fail(index, shots, attempt, payload[0])
+            if retry is not None and not self.draining:
+                self.pending.append((time.monotonic() + retry[2], index, retry[1]))
+        if slot["busy"] is not None and slot["busy"][:2] == (index, attempt):
+            slot["busy"] = None
+
+    def sweep(self, now: float) -> None:
+        """Deadline / liveness sweep: kill and respawn stuck workers."""
+        for wid, slot in enumerate(self.fleet.slots):
+            busy_entry = slot["busy"]
+            dead = not slot["proc"].is_alive()
+            timed_out = busy_entry is not None and now > busy_entry[2]
+            if not dead and not timed_out:
+                continue
+            if busy_entry is not None:
+                index, attempt, _ = busy_entry
+                if (index, attempt) not in self.handled:
+                    self.handled.add((index, attempt))
+                    shots, _ = self.by_index[index]
+                    reason = (
+                        f"worker {wid} exceeded {self.policy.block_timeout}s "
+                        f"block timeout"
+                        if timed_out and not dead
+                        else f"worker {wid} died (exitcode "
+                        f"{slot['proc'].exitcode})"
+                    )
+                    retry = self.fail(index, shots, attempt, reason)
+                    if retry is not None and not self.draining:
+                        self.pending.append(
+                            (time.monotonic() + retry[2], index, retry[1])
                         )
-                        retry = fail(index, shots, attempt, reason)
-                        if retry is not None and not draining:
-                            pending.append(
-                                (time.monotonic() + retry[2], index, retry[1])
-                            )
-                slots[wid] = spawn(wid)
-    finally:
-        for slot in slots:
-            try:
-                slot["q"].put_nowait(None)
-            except Exception:
-                pass
-        deadline = time.monotonic() + 5.0
-        for slot in slots:
-            slot["proc"].join(timeout=max(0.1, deadline - time.monotonic()))
-            if slot["proc"].is_alive():
-                slot["proc"].terminate()
-                slot["proc"].join(timeout=1.0)
-        result_q.cancel_join_thread()
+            self.fleet.respawn(wid)

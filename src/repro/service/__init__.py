@@ -1,0 +1,49 @@
+"""Campaign-as-a-service: the long-lived front-end of the campaign stack.
+
+``repro.service`` turns the durable campaign layer into a supervised,
+always-on service: a persistent worker fleet and cross-request build
+caches serve many queued campaigns, every accepted job is backed by a
+run ledger in the service directory, and restarting the server resumes
+in-flight jobs bit-identically (the robustness contract is documented
+in EXPERIMENTS.md, "Campaign service").
+
+Modules
+-------
+``specs``      canonical spec builders + execution shared with the CLI
+``store``      crash-safe job records (atomic JSON writes, recovery)
+``scheduler``  bounded queue, admission control, circuit breaker, the
+               persistent fleet, and the job run loop
+``server``     stdlib-http API (healthz / jobs / events, drain on
+               SIGTERM with exit 130)
+``client``     stdlib urllib client used by the CLI and tests
+"""
+
+from repro.service.client import ServiceClient, read_service_address
+from repro.service.scheduler import Admission, Scheduler
+from repro.service.server import CampaignServer, serve_forever
+from repro.service.specs import (
+    SpecError,
+    build_compare_spec,
+    build_memory_spec,
+    execute_spec,
+    spec_from_payload,
+)
+from repro.service.store import TERMINAL_STATES, Job, JobStore, atomic_write_json
+
+__all__ = [
+    "Admission",
+    "CampaignServer",
+    "Job",
+    "JobStore",
+    "Scheduler",
+    "ServiceClient",
+    "SpecError",
+    "TERMINAL_STATES",
+    "atomic_write_json",
+    "build_compare_spec",
+    "build_memory_spec",
+    "execute_spec",
+    "read_service_address",
+    "serve_forever",
+    "spec_from_payload",
+]

@@ -1,0 +1,99 @@
+"""Stdlib HTTP client for the campaign service.
+
+Used by the ``repro submit``/``status``/``wait`` CLI commands, the test
+suite, and the CI service-smoke job.  Deliberately thin: every method
+returns ``(status_code, decoded-JSON body)`` so callers see the
+admission decision (202/200/409/429/503) rather than an exception
+hierarchy re-encoding it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.service.store import TERMINAL_STATES
+
+__all__ = ["ServiceClient", "read_service_address"]
+
+
+def read_service_address(directory: str | Path) -> str:
+    """Base URL of the server publishing into ``directory``.
+
+    The server writes ``service.json`` on startup (``--port 0``
+    support); this is how tests and the CLI find an ephemeral port.
+    """
+    record = json.loads((Path(directory) / "service.json").read_text())
+    return f"http://{record['host']}:{record['port']}"
+
+
+class ServiceClient:
+    """Minimal JSON-over-HTTP client (no third-party dependencies)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        data = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            # Admission rejections (4xx/5xx) carry a JSON body too.
+            return exc.code, json.loads(exc.read() or b"{}")
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def healthz(self) -> tuple[int, dict]:
+        return self._request("GET", "/healthz")
+
+    def submit(self, payload: dict) -> tuple[int, dict]:
+        return self._request("POST", "/jobs", payload)
+
+    def jobs(self) -> tuple[int, dict]:
+        return self._request("GET", "/jobs")
+
+    def status(self, job_id: str) -> tuple[int, dict]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = 0) -> tuple[int, dict]:
+        return self._request("GET", f"/jobs/{job_id}/events?since={since}")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        poll_interval: float = 0.2,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns the job.
+
+        Raises ``TimeoutError`` when the deadline passes first — an
+        explicit failure, never a silent hang (the service's per-request
+        timeouts bound each poll independently).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            code, job = self.status(job_id)
+            if code == 200 and job.get("state") in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after {timeout}s "
+                    f"(last state: {job.get('state', 'unknown')!r})"
+                )
+            time.sleep(poll_interval)

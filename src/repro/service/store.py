@@ -1,0 +1,183 @@
+"""Crash-safe job store: one directory, one JSON file per job.
+
+A job is identified by its campaign's run key (``run_key(spec)``), which
+makes submission naturally idempotent: resubmitting the same spec maps
+to the same job id, the same job file, and the same ledger — there is
+nothing to deduplicate because there was never a second identity.
+
+Layout of the service directory::
+
+    <dir>/<id>.job.json   job record (spec, state, strikes, result)
+    <dir>/<id>.jsonl      the job's durable run ledger (repro.durable)
+    <dir>/service.json    the live server's address (host, port, pid)
+
+Every job-record write goes through the same atomic discipline the
+bench merge uses: serialize to ``<path>.tmp`` and ``os.replace`` it over
+the target, so a crash mid-write can never tear a job file — the store
+always reopens to either the old record or the new one, matching the
+ledger's newline-terminated-iff-durable rule one level up.
+
+Job states::
+
+    queued -> running -> done                (all units completed)
+                      -> degraded            (completed, quarantined blocks)
+                      -> failed              (error or per-job timeout)
+                      -> interrupted         (drain/SIGKILL mid-run)
+
+:meth:`JobStore.recover` is the restart path: every ``running`` or
+``interrupted`` job returns to ``queued`` (its ledger holds the durable
+blocks, so re-running resumes instead of recomputing), and any orphan
+ledger whose job file is missing is re-adopted from the spec stored in
+the ledger header.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.durable.ledger import run_key, scan_ledgers
+
+__all__ = ["Job", "JobStore", "TERMINAL_STATES"]
+
+#: States a job can rest in; everything else is in flight.
+TERMINAL_STATES = ("done", "degraded", "failed")
+
+
+class Job:
+    """In-memory view of one job record (persisted as ``<id>.job.json``)."""
+
+    def __init__(self, spec: dict, *, seq: int, state: str = "queued"):
+        self.id = run_key(spec)
+        self.spec = spec
+        self.seq = seq
+        self.state = state
+        self.strikes = 0
+        self.error = ""
+        self.result: dict | None = None
+        self.quarantined_blocks = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "seq": self.seq,
+            "spec": self.spec,
+            "state": self.state,
+            "strikes": self.strikes,
+            "error": self.error,
+            "result": self.result,
+            "quarantined_blocks": self.quarantined_blocks,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> Job:
+        job = cls(record["spec"], seq=record["seq"], state=record["state"])
+        job.strikes = record.get("strikes", 0)
+        job.error = record.get("error", "")
+        job.result = record.get("result")
+        job.quarantined_blocks = record.get("quarantined_blocks", 0)
+        return job
+
+
+def atomic_write_json(path: str | Path, payload: dict) -> None:
+    """Write JSON durably: serialize to a temp file, then ``os.replace``."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+class JobStore:
+    """All persisted jobs of one service directory (thread-safe)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._next_seq = 0
+        for path in sorted(self.root.glob("*.job.json")):
+            try:
+                record = json.loads(path.read_text())
+                job = Job.from_dict(record)
+            except (json.JSONDecodeError, KeyError) as exc:
+                # A torn job file is impossible under atomic_write_json;
+                # an invalid one is operator damage — skip it loudly in
+                # the record rather than refusing to start.
+                raise RuntimeError(
+                    f"{path}: invalid job record ({exc}); remove or repair "
+                    f"it to start the service"
+                ) from exc
+            self._jobs[job.id] = job
+            self._next_seq = max(self._next_seq, job.seq + 1)
+
+    # ------------------------------------------------------------------
+    # CRUD
+    # ------------------------------------------------------------------
+    def job_path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.job.json"
+
+    def ledger_path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.jsonl"
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def all(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def create(self, spec: dict) -> Job:
+        with self._lock:
+            job = Job(spec, seq=self._next_seq)
+            self._next_seq += 1
+            self._jobs[job.id] = job
+            self.save(job)
+            return job
+
+    def save(self, job: Job) -> None:
+        with self._lock:
+            atomic_write_json(self.job_path(job.id), job.to_dict())
+
+    def counts(self) -> dict:
+        with self._lock:
+            counts: dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
+
+    # ------------------------------------------------------------------
+    # Restart recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> list[Job]:
+        """Requeue every job a previous server left in flight.
+
+        Returns the requeued jobs in submission (``seq``) order.  Also
+        adopts orphan ledgers — a ledger with no job file, e.g. after an
+        operator copied ledgers into the directory — using the spec the
+        ledger header stores, so their durable blocks are not stranded.
+        """
+        with self._lock:
+            for key, parsed in scan_ledgers(self.root).items():
+                if isinstance(parsed, Exception):
+                    continue  # surfaced by lint --ledger <dir>, not fatal here
+                spec = parsed.header.get("spec")
+                if key not in self._jobs and isinstance(spec, dict):
+                    if run_key(spec) != key:
+                        continue  # foreign/edited header; lint flags it
+                    if not self.ledger_path(key).exists():
+                        # Renamed file: resuming would open the canonical
+                        # path and recompute beside the stranded blocks.
+                        # Leave it for `repro lint --ledger` (LED008).
+                        continue
+                    self.create(spec)
+            requeued = []
+            for job in self.all():
+                if job.state in ("running", "interrupted", "queued"):
+                    job.state = "queued"
+                    self.save(job)
+                    requeued.append(job)
+            return requeued

@@ -613,6 +613,10 @@ def compare_architectures(
     certify_joint: bool = True,
     oracle_cert: bool = False,
     executor=None,
+    lowering_cache=None,
+    graph_cache=None,
+    joint_cache=None,
+    joint_graph_cache=None,
 ) -> ArchitectureComparison:
     """Run the end-to-end architecture comparison for one program.
 
@@ -620,7 +624,10 @@ def compare_architectures(
     machine and compiled schedule, but the lowering and decoder-graph
     caches (and, in correlated mode, the joint-shape caches) are shared
     across the whole sweep, so any shape recurrence — across qubits,
-    pairs, policies or embeddings — is built exactly once.
+    pairs, policies or embeddings — is built exactly once.  Passing the
+    caches in extends that sharing across *calls*: the campaign service
+    hands every job the same long-lived caches, so a shape built for one
+    job is free for every later job that reuses it.
 
     ``executor`` makes the sweep durable: unit labels already encode
     (embedding, refresh, distance, qubit/pair), so every sweep point
@@ -628,10 +635,24 @@ def compare_architectures(
     resumes exactly where it stopped.
     """
     modes = MEMORY_HARDWARE.cavity_modes if cavity_modes is None else cavity_modes
-    lowering_cache = BuildCache("lowering")
-    graph_cache = BuildCache("decoder-graph")
-    joint_cache = BuildCache("joint-lowering") if correlated else None
-    joint_graph_cache = BuildCache("joint-graph") if correlated else None
+    lowering_cache = (
+        lowering_cache if lowering_cache is not None else BuildCache("lowering")
+    )
+    graph_cache = (
+        graph_cache if graph_cache is not None else BuildCache("decoder-graph")
+    )
+    if correlated:
+        joint_cache = (
+            joint_cache if joint_cache is not None else BuildCache("joint-lowering")
+        )
+        joint_graph_cache = (
+            joint_graph_cache
+            if joint_graph_cache is not None
+            else BuildCache("joint-graph")
+        )
+    else:
+        joint_cache = None
+        joint_graph_cache = None
     error_model = ErrorModel(hardware=MEMORY_HARDWARE, p=p, scale_coherence=False)
     rows = []
     for embedding in embeddings:

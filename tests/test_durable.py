@@ -12,6 +12,7 @@ block's result; and every corrupted-ledger case is either tolerated
 
 import json
 import tempfile
+import time
 from pathlib import Path
 
 import pytest
@@ -524,3 +525,216 @@ class TestDurableVsPlainEngine:
         assert durable.decode_stats.get("cached", 0) == 0
         tier_sum = sum(durable.decode_stats.get(t, 0) for t in TIER_NAMES)
         assert tier_sum == durable.decode_stats["unique"]
+
+
+class _FakeProc:
+    def __init__(self):
+        self.alive = True
+        self.exitcode = None
+
+    def is_alive(self):
+        return self.alive
+
+
+class _FakeQueue:
+    def __init__(self):
+        self.items = []
+
+    def put(self, item):
+        self.items.append(item)
+
+
+class _FakeFleet:
+    """Deterministic stand-in for WorkerFleet: no processes, no races."""
+
+    def __init__(self, size=1):
+        self.slots = [
+            {"proc": _FakeProc(), "q": _FakeQueue(), "busy": None}
+            for _ in range(size)
+        ]
+        self.epoch = 0
+        self.respawned = []
+
+    def configure(self, worker_args, fault=None):
+        self.epoch += 1
+        for slot in self.slots:
+            slot["busy"] = None
+        return self.epoch
+
+    def respawn(self, wid):
+        self.respawned.append(wid)
+        self.slots[wid] = {"proc": _FakeProc(), "q": _FakeQueue(), "busy": None}
+
+
+def _make_supervisor(fleet, blocks, policy):
+    """A _PoolSupervisor wired to recording callbacks (no processes)."""
+    from repro.durable.supervise import (
+        BlockOutcome,
+        SupervisedResult,
+        _PoolSupervisor,
+    )
+
+    result = SupervisedResult()
+
+    def block_done(outcome):
+        result.completed.append(outcome)
+
+    def fail(index, shots, attempt, reason):
+        next_attempt = attempt + 1
+        if next_attempt >= policy.max_attempts:
+            result.quarantined.append(
+                BlockOutcome(index=index, shots=shots, attempts=next_attempt,
+                             quarantined=True, failure=reason)
+            )
+            return None
+        result.retries += 1
+        return (index, next_attempt, 0.0)
+
+    supervisor = _PoolSupervisor(
+        fleet, blocks, ("sampler", "decoder", "basis", "obs"),
+        unit="memory", policy=policy, fault=None, block_done=block_done,
+        fail=fail, should_abort=None, result=result, stopped=lambda: False,
+    )
+    return supervisor, result
+
+
+class TestCrossRespawnDedup:
+    """ISSUE satellite: a late result from a timed-out attempt must not
+    disturb the respawned worker running the retry of the same block —
+    dedup is exact on (block, attempt), on both the handled set AND the
+    busy-slot bookkeeping."""
+
+    def test_late_result_does_not_clear_respawned_workers_busy_entry(self):
+        fleet = _FakeFleet(size=1)
+        policy = RetryPolicy(block_timeout=10.0, max_attempts=3,
+                             retry_base_delay=0.0)
+        supervisor, result = _make_supervisor(fleet, [(5, 1024, None)], policy)
+
+        # Retries are re-queued at time.monotonic() + delay, so drive
+        # the supervisor with monotonic-anchored clocks.
+        base = time.monotonic()
+        supervisor.assign(now=base)  # attempt 0 -> worker 0
+        assert fleet.slots[0]["busy"][:2] == (5, 0)
+
+        # Deadline fires: attempt 0 is failed, worker 0 respawned, the
+        # retry (attempt 1) is scheduled and assigned to the new worker.
+        supervisor.sweep(now=base + 100.0)
+        assert fleet.respawned == [0]
+        assert result.retries == 1
+        supervisor.assign(now=time.monotonic() + 1.0)
+        assert fleet.slots[0]["busy"][:2] == (5, 1)
+
+        # The original attempt's result finally arrives (the worker was
+        # slow, not dead).  It must be ignored entirely: not counted,
+        # and — the cross-respawn edge — it must NOT clear the busy
+        # entry of the respawned worker running attempt 1.
+        supervisor.handle_message(
+            ("ok", supervisor.epoch, 0, 5, 0, 7, {"shots": 1024})
+        )
+        assert result.completed == []
+        assert fleet.slots[0]["busy"] is not None
+        assert fleet.slots[0]["busy"][:2] == (5, 1)
+
+        # The retry's own result is counted exactly once.
+        supervisor.handle_message(
+            ("ok", supervisor.epoch, 0, 5, 1, 3, {"shots": 1024})
+        )
+        assert [o.errors for o in result.completed] == [3]
+        assert result.completed[0].attempts == 2
+        assert fleet.slots[0]["busy"] is None
+        assert result.quarantined == []
+
+    def test_late_result_after_quarantine_adds_no_completion(self):
+        fleet = _FakeFleet(size=1)
+        policy = RetryPolicy(block_timeout=10.0, max_attempts=1,
+                             retry_base_delay=0.0)
+        supervisor, result = _make_supervisor(fleet, [(2, 1024, None)], policy)
+        supervisor.assign(now=0.0)
+        supervisor.sweep(now=100.0)  # only attempt times out -> quarantine
+        assert [o.index for o in result.quarantined] == [2]
+
+        supervisor.handle_message(
+            ("ok", supervisor.epoch, 0, 2, 0, 9, {"shots": 1024})
+        )
+        assert result.completed == []  # quarantine stands; no double count
+        assert [o.index for o in result.quarantined] == [2]
+
+    def test_cross_epoch_result_is_dropped_before_any_bookkeeping(self):
+        fleet = _FakeFleet(size=1)
+        policy = RetryPolicy(block_timeout=10.0, max_attempts=3,
+                             retry_base_delay=0.0)
+        supervisor, result = _make_supervisor(fleet, [(0, 1024, None)], policy)
+        supervisor.assign(now=0.0)
+
+        # A straggler from a previous unit of a shared fleet: same wid,
+        # same block index, wrong epoch.  Dropped wholesale — it neither
+        # counts nor consumes (0, 0) in the handled set.
+        supervisor.handle_message(
+            ("ok", supervisor.epoch - 1, 0, 0, 0, 9, {"shots": 1024})
+        )
+        assert result.completed == []
+        assert (0, 0) not in supervisor.handled
+
+        supervisor.handle_message(
+            ("ok", supervisor.epoch, 0, 0, 0, 2, {"shots": 1024})
+        )
+        assert [o.errors for o in result.completed] == [2]
+
+
+class TestWorkerFleetReuse:
+    """Tentpole hook: one persistent fleet serves many units (epochs)
+    with results bit-identical to ephemeral per-call pools."""
+
+    def test_fleet_reuse_across_units_is_bit_identical(self):
+        from repro.durable import WorkerFleet
+
+        clean_result, clean_blocks = _clean_run("packed")
+        with WorkerFleet(2) as fleet:
+            with tempfile.TemporaryDirectory() as td:
+                first, _ = _run_with_fleet(Path(td) / "a.jsonl", fleet)
+                second, _ = _run_with_fleet(Path(td) / "b.jsonl", fleet)
+                assert first.logical_errors == clean_result.logical_errors
+                assert second.logical_errors == clean_result.logical_errors
+                assert parse_ledger(Path(td) / "a.jsonl").blocks == clean_blocks
+                assert parse_ledger(Path(td) / "b.jsonl").blocks == clean_blocks
+            # Epochs advanced (one per supervised chunk) but the
+            # workers themselves persisted across both campaigns.
+            assert fleet.epoch >= 2
+            assert fleet.respawns == 0
+            assert fleet.alive_workers() == 2
+
+    def test_fleet_survives_crash_faults_across_units(self):
+        from repro.durable import WorkerFleet
+
+        clean_result, clean_blocks = _clean_run("packed")
+        fault = FaultPlan(seed=1, crash_rate=0.9)
+        with WorkerFleet(2) as fleet:
+            with tempfile.TemporaryDirectory() as td:
+                path = Path(td) / "chaos.jsonl"
+                result, executor = _run_with_fleet(
+                    path, fleet, fault=fault,
+                    policy=RetryPolicy(block_timeout=60.0, max_attempts=6,
+                                       retry_base_delay=0.001),
+                )
+                assert result.logical_errors == clean_result.logical_errors
+                assert parse_ledger(path).blocks == clean_blocks
+                assert executor.total_retries > 0
+            assert fleet.respawns > 0  # crashes really killed workers
+            assert fleet.alive_workers() == 2  # ...and the fleet healed
+
+
+def _run_with_fleet(path, fleet, *, fault=None, policy=FAST):
+    """A durable memory campaign on a borrowed persistent fleet."""
+    ledger = RunLedger(path, SPEC, fault=fault)
+    executor = DurableExecutor(
+        ledger, workers=2, policy=policy, fault=fault, fleet=fleet,
+        stop_interval_blocks=1,
+    )
+    try:
+        result = run_memory_experiment(
+            _MEMORY, shots=SHOTS, seed=SEED, backend="packed",
+            executor=executor,
+        )
+    finally:
+        ledger.close()
+    return result, executor
