@@ -13,15 +13,24 @@ uploaded as a workflow artifact):
   per-instruction bool-array simulator by ≥ ``REPRO_BENCH_MIN_SPEEDUP``
   (default 5x; CI smoke runs with 2x as the regression gate).
 - **decode_only** — the tiered ``decode_batch`` path (dedup → weight-1
-  table → weight-2 analytic rule → LRU → flat-array full decode) against
-  a dedup + per-unique ``decode()`` loop baseline.  For union-find the
-  baseline runs the legacy dict implementation PR 2 shipped (a true
-  tiered-vs-PR2 number); for MWPM the baseline necessarily shares this
-  PR's vectorized ``decode``, so that row isolates the tier-dispatch
-  gain only.  Tier hit rates are recorded per decoder × distance, the accounting
-  identity ``sum(tiers) == unique`` is asserted on every chunk aggregate
-  (a silent misroute would break it), and the tiered path must beat the
-  baseline by ≥ ``REPRO_BENCH_MIN_DECODE_SPEEDUP`` (default 2x).
+  table → weight-2 analytic rule → LRU → batched lockstep kernel →
+  flat-array full decode) against a dedup + per-unique ``decode()`` loop
+  baseline.  For union-find the baseline runs the legacy dict
+  implementation PR 2 shipped (a true tiered-vs-PR2 number) and the row
+  also carries a batched-vs-flat comparison (the same dedup + loop over
+  the *current* flat-array decoder — the kernel's own contribution,
+  isolated from the PR 5 flat rewrite); for MWPM the baseline
+  necessarily shares this PR's vectorized ``decode``, so that row
+  isolates the tier-dispatch cost and is gated at the largest distance
+  to stay within timing noise of 1.0x (the all-full fast path exists
+  so heavy workloads never pay for tier setup they cannot use; see
+  ``_min_mwpm_decode_speedup``).  Tier hit rates are recorded per decoder ×
+  distance, the accounting identity ``sum(tiers) == unique`` is
+  asserted on every chunk aggregate (a silent misroute would break it),
+  and the tiered union-find path must beat the PR 2 baseline by
+  ≥ ``REPRO_BENCH_MIN_DECODE_SPEEDUP`` (default 6x).  Decode-only rates
+  come from the median-ratio rep of ``DECODE_REPEATS`` paired runs with
+  fresh decoder state per rep.
 - **end_to_end** — the full engine including decoding, per backend and
   worker count at p=5e-3 (essentially at threshold, where nearly every
   syndrome is unique and heavy — worst case for the fast path) plus a
@@ -60,6 +69,12 @@ P_BELOW = 1e-3
 WORKER_COUNTS = (1, 2, 4)
 BACKENDS = ("reference", "packed")
 DECODE_CHUNK = 1024
+# Decode-only measurement repeats.  Each rep times tiered, baseline and
+# (for union-find) flat back to back with fresh decoder state, and the
+# median-ratio rep is recorded: pairing cancels machine drift between
+# the two timed regions, and the median sheds one-off scheduler hiccups
+# that would otherwise flake the gated ratios.
+DECODE_REPEATS = 3
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -69,7 +84,17 @@ def _min_speedup() -> float:
 
 
 def _min_decode_speedup() -> float:
-    return float(os.environ.get("REPRO_BENCH_MIN_DECODE_SPEEDUP", 2.0))
+    return float(os.environ.get("REPRO_BENCH_MIN_DECODE_SPEEDUP", 6.0))
+
+
+def _min_mwpm_decode_speedup() -> float:
+    # With the all-full fast path the tiered MWPM dispatch does byte-
+    # identical blossom work to the raw dedup+loop, so the true ratio is
+    # 1.0 and any measured deviation is timing noise (observed ±3% on
+    # best-of-3 multi-second regions).  The default gate is 1.0 minus
+    # that noise floor: a structural dispatch cost shows up as a
+    # systematic shortfall below it, not as scatter around 1.0.
+    return float(os.environ.get("REPRO_BENCH_MIN_MWPM_DECODE_SPEEDUP", 0.95))
 
 
 def _sampling_rate(circuit, backend: str, n: int) -> float:
@@ -142,24 +167,39 @@ def _decode_only(n: int) -> list[dict]:
         # exists), so its row isolates the tier-dispatch gain only.
         budgets = {
             "unionfind": (
-                UnionFindDecoder(graph),
-                LegacyUnionFindDecoder(graph),
+                lambda: UnionFindDecoder(graph),
+                lambda: LegacyUnionFindDecoder(graph),
                 "PR 2 legacy dict decode loop",
                 n,
             ),
             "mwpm": (
-                MWPMDecoder(graph),
-                MWPMDecoder(graph),
+                lambda: MWPMDecoder(graph),
+                lambda: MWPMDecoder(graph),
                 "dedup + decode loop (same decode impl)",
                 max(256, n // 4),
             ),
         }
         dets_full = _sample_syndromes(memory, n)
-        for name, (tiered, baseline, baseline_label, budget) in budgets.items():
+        for name, (make_tiered, make_baseline, baseline_label, budget) in budgets.items():
             dets = dets_full[:budget]
-            tiered_rate, stats = _tiered_decode_rate(tiered, dets)
-            baseline_rate = _baseline_decode_rate(baseline, dets)
-            results.append({
+            # Fresh decoder each rep: a warm cross-batch LRU would turn
+            # rep 2 into a cache benchmark instead of a decode one.
+            reps = []
+            for _ in range(DECODE_REPEATS):
+                tiered_rate, stats = _tiered_decode_rate(make_tiered(), dets)
+                baseline_rate = _baseline_decode_rate(make_baseline(), dets)
+                flat_rate = (
+                    _baseline_decode_rate(UnionFindDecoder(graph), dets)
+                    if name == "unionfind"
+                    else None
+                )
+                reps.append(
+                    (tiered_rate / baseline_rate, tiered_rate, stats,
+                     baseline_rate, flat_rate)
+                )
+            reps.sort(key=lambda rep: rep[0])
+            _, tiered_rate, stats, baseline_rate, flat_rate = reps[len(reps) // 2]
+            row = {
                 "distance": d,
                 "decoder": name,
                 "shots": int(dets.shape[0]),
@@ -170,7 +210,14 @@ def _decode_only(n: int) -> list[dict]:
                 "baseline_shots_per_sec": baseline_rate,
                 "speedup_vs_baseline": tiered_rate / baseline_rate,
                 "tiers": {t: stats[t] for t in TIER_NAMES},
-            })
+            }
+            if name == "unionfind":
+                # Batched-vs-flat: the same dedup + per-unique loop over
+                # the current flat-array decoder, so the ratio isolates
+                # what the lockstep kernel buys over one-shot-at-a-time.
+                row["flat_shots_per_sec"] = flat_rate
+                row["speedup_batched_vs_flat"] = tiered_rate / flat_rate
+            results.append(row)
     return results
 
 
@@ -273,6 +320,13 @@ def test_engine_scaling(once):
         "decode_speedup_tiered_vs_pr2": {
             str(d): decode_speedups[(d, "unionfind")] for d in DISTANCES
         },
+        # Batched lockstep kernel vs the current flat decoder (same
+        # dedup+loop harness on both sides) — the kernel's own gain.
+        "decode_speedup_batched_vs_flat": {
+            str(row["distance"]): row["speedup_batched_vs_flat"]
+            for row in decode_only
+            if row["decoder"] == "unionfind"
+        },
     }
     # Merge-write: other benches (bench_program_sweep) own their own
     # top-level sections of the same file.
@@ -289,7 +343,7 @@ def test_engine_scaling(once):
         title=f"Frame-simulation pipeline (p={P}, {n} shots)",
     ))
     print(ascii_table(
-        ["d", "decoder", "tiered shots/sec", "baseline shots/sec", "speedup", "tiers t/w1/w2/c/f"],
+        ["d", "decoder", "tiered shots/sec", "baseline shots/sec", "speedup", "tiers t/w1/w2/c/b/f"],
         [
             (row["distance"], row["decoder"],
              f"{row['tiered_shots_per_sec']:,.0f}",
@@ -314,7 +368,7 @@ def test_engine_scaling(once):
         title=f"End-to-end engine incl. decoding ({os.cpu_count()} cores, p={P})",
     ))
     print(ascii_table(
-        ["d", "shots/sec", "unique", "tiers t/w1/w2/c/f"],
+        ["d", "shots/sec", "unique", "tiers t/w1/w2/c/b/f"],
         [
             (row["distance"], f"{row['shots_per_sec']:,.0f}", row["unique_syndromes"],
              "/".join(str(row["decode_tiers"][t]) for t in TIER_NAMES))
@@ -337,3 +391,16 @@ def test_engine_scaling(once):
             f"tiered union-find decode only {got:.2f}x the PR 2 baseline at "
             f"d={d}; expected >= {decode_minimum}x"
         )
+    # The all-full fast path must keep MWPM's tiered dispatch from
+    # costing more than the plain dedup + decode loop it wraps.  Gate at
+    # the largest distance, where every p=5e-3 batch is all-heavy and
+    # the fast path is what runs (the 0.97x regression this guards
+    # against); smaller distances mix tiers, so their ratio is 1.0 plus
+    # timing noise in either direction and is recorded, not gated.
+    mwpm_minimum = _min_mwpm_decode_speedup()
+    d = max(DISTANCES)
+    got = decode_speedups[(d, "mwpm")]
+    assert got >= mwpm_minimum, (
+        f"tiered MWPM decode only {got:.2f}x its dedup+loop baseline at "
+        f"d={d}; expected >= {mwpm_minimum}x"
+    )

@@ -43,8 +43,29 @@ def workers(default: int = 1) -> int:
 
 
 @pytest.fixture()
-def once(benchmark):
-    """Run the measured function exactly once (sweeps are expensive)."""
+def once(benchmark, request):
+    """Run the measured function exactly once (sweeps are expensive).
+
+    Set ``REPRO_PROFILE=1`` to wrap the single measured call in cProfile
+    and print the top cumulative entries — the quickest way to see where
+    a bench's wall-clock actually goes without editing the bench.
+    """
+    if os.environ.get("REPRO_PROFILE"):
+        import cProfile
+        import pstats
+
+        def run(fn, *args, **kwargs):
+            profiler = cProfile.Profile()
+            result = benchmark.pedantic(
+                lambda: profiler.runcall(fn, *args, **kwargs),
+                iterations=1,
+                rounds=1,
+            )
+            print(f"\n--- cProfile: {request.node.name} ---")
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+            return result
+
+        return run
 
     def run(fn, *args, **kwargs):
         return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -13,7 +13,9 @@ statically:
 * **GRF002** — an edge probability outside ``(0, 0.5)`` or a
   non-positive log-likelihood weight;
 * **GRF003** — the union-find decoder's flat arrays, CSR adjacency or
-  plain-list mirrors disagree with the graph they were built from;
+  plain-list mirrors disagree with the graph they were built from, or
+  its batched lockstep kernel copies (rather than shares) the edge
+  arrays or mis-routes an edge in its own CSR;
 * **GRF004** — a DEM error mechanism is not covered by the graph (a
   fault's detector has no incident edge, or an observable-only fault is
   missing from ``undetectable_probability``).
@@ -238,4 +240,42 @@ def lint_unionfind(
                 f"adjacency list mirror of node {node} is {mirror_pairs}, "
                 f"CSR says {csr_pairs}",
             )
+
+    # Batched lockstep kernel (when built): bit-identity with the flat
+    # decoder requires *shared* edge arrays — a copy could silently
+    # drift after a graph rebuild — and its own CSR must route every
+    # edge once per endpoint to the correct far endpoint.
+    kernel = getattr(decoder, "_batched", False)
+    if kernel not in (False, None):
+        for name in ("edge_u", "edge_v", "lengths"):
+            if getattr(kernel, name) is not getattr(decoder, name):
+                add(
+                    f"batched.{name}",
+                    f"batched kernel holds a copy of {name} instead of "
+                    "sharing the flat decoder's array",
+                )
+        if len(kernel._indptr) != n + 2:
+            add(
+                "batched",
+                f"batched kernel _indptr has {len(kernel._indptr)} "
+                f"entries, want {n + 2}",
+            )
+        else:
+            for node in range(n + 1):
+                lo, hi = int(kernel._indptr[node]), int(kernel._indptr[node + 1])
+                pairs = sorted(
+                    (int(kernel._adj_edge[j]), int(kernel._adj_other[j]))
+                    for j in range(lo, hi)
+                )
+                expected = sorted(
+                    (index, edge.v if edge.u == node else edge.u)
+                    for index, edge in enumerate(graph.edges)
+                    if node in (edge.u, edge.v)
+                )
+                if pairs != expected:
+                    add(
+                        f"batched.adj{node}",
+                        f"batched kernel CSR of node {node} is {pairs}, "
+                        f"expected {expected}",
+                    )
     return diagnostics

@@ -6,18 +6,21 @@ bounded cross-batch LRU, full decode) used by the Monte-Carlo engine.
 """
 
 from repro.decoders.batch import TIER_NAMES, SyndromeDecoder
-from repro.decoders.cache import BuildCache
+from repro.decoders.batched_uf import BatchedUnionFind
+from repro.decoders.cache import BuildCache, PackedLRU
 from repro.decoders.graph import DecodingEdge, DistanceTables, MatchingGraph
 from repro.decoders.mwpm import MWPMDecoder
 from repro.decoders.unionfind import LegacyUnionFindDecoder, UnionFindDecoder
 
 __all__ = [
+    "BatchedUnionFind",
     "BuildCache",
     "DecodingEdge",
     "DistanceTables",
     "LegacyUnionFindDecoder",
     "MatchingGraph",
     "MWPMDecoder",
+    "PackedLRU",
     "SyndromeDecoder",
     "TIER_NAMES",
     "UnionFindDecoder",

@@ -21,31 +21,45 @@ syndrome through a tier ladder, cheapest first:
     blossom outcome for two events).  Decoders without a provably-exact
     rule return ``None`` and the pairs fall through to the full tier.
 ``cached``
-    A bounded cross-batch LRU of full-decoder predictions, keyed by the
-    packed syndrome bytes, so repeated heavy syndromes across chunks are
-    never re-decoded.  The capacity bound keeps worker memory flat at any
+    A bounded cross-batch LRU of full-decoder predictions
+    (:class:`~repro.decoders.cache.PackedLRU`), keyed by the packed
+    syndrome bytes, so repeated heavy syndromes across chunks are never
+    re-decoded.  The capacity bound keeps worker memory flat at any
     total shot count (the seed's per-shot dict cache grew without bound).
+``batched``
+    Decoders that provide a vectorized whole-batch kernel
+    (:meth:`SyndromeDecoder._decode_heavy_batch`; union-find routes here
+    through the lockstep kernel of ``decoders/batched_uf.py``) decode
+    all remaining heavy uniques in one call.  The kernel is bit-identical
+    to the per-shot decoder by contract, so results still land in the
+    LRU and the ``cached`` tier serves them on repeats.
 ``full``
-    Everything else runs the decoder's ``decode`` once and lands in the
-    LRU.
+    Everything else runs the decoder's ``decode`` once per unique
+    syndrome and lands in the LRU.
 
-Per-call tier occupancy is exposed via ``last_batch_stats`` and
-accumulated in ``tier_counts``; the tiers always sum to the number of
-unique syndromes (the engine-scaling bench asserts this, guarding silent
+When every unique syndrome in a batch is heavy — the regime at
+threshold — the dispatcher skips the weight-tier setup entirely (no
+weight-1 table gather, no pair extraction), so a decoder with no batched
+kernel pays only dedup + LRU over the plain decode loop.
+
+Per-call tier occupancy is exposed via ``last_batch_stats`` (together
+with the call's LRU ``lru_hits``/``lru_misses`` deltas) and accumulated
+in ``tier_counts``; the tiers always sum to the number of unique
+syndromes (the engine-scaling bench asserts this, guarding silent
 misrouting).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 import numpy as np
+
+from repro.decoders.cache import PackedLRU
 
 __all__ = ["SyndromeDecoder", "TIER_NAMES"]
 
 #: Tier keys, in dispatch order.  ``sum(stats[t] for t in TIER_NAMES)``
 #: always equals ``stats["unique"]``.
-TIER_NAMES = ("trivial", "weight1", "weight2", "cached", "full")
+TIER_NAMES = ("trivial", "weight1", "weight2", "cached", "batched", "full")
 
 #: Default bound on cached full-decoder predictions (entries, not bytes;
 #: a d=7 entry is ~60 bytes of key plus an int, so the default tops out
@@ -66,16 +80,26 @@ class SyndromeDecoder:
 
     def __init__(self, graph, lru_capacity: int = DEFAULT_LRU_CAPACITY):
         self.graph = graph
-        self.lru_capacity = lru_capacity
-        self._lru: OrderedDict[bytes, int] = OrderedDict()
+        self._lru = PackedLRU(lru_capacity)
         self._weight1_table: np.ndarray | None = None
         self._weight1_built: np.ndarray | None = None
         #: cumulative tier occupancy across every decode_batch call
         self.tier_counts: dict[str, int] = {t: 0 for t in TIER_NAMES}
         self.tier_counts["unique"] = 0
         self.tier_counts["shots"] = 0
+        self.tier_counts["lru_hits"] = 0
+        self.tier_counts["lru_misses"] = 0
         #: tier occupancy of the most recent decode_batch call
         self.last_batch_stats: dict[str, int] | None = None
+
+    @property
+    def lru_capacity(self) -> int:
+        """Entry bound of the cross-batch LRU (mutable at any time)."""
+        return self._lru.capacity
+
+    @lru_capacity.setter
+    def lru_capacity(self, value: int) -> None:
+        self._lru.capacity = value
 
     def reset_batch_state(self) -> None:
         """Drop cross-batch decode state (the LRU and last-batch stats).
@@ -151,6 +175,18 @@ class SyndromeDecoder:
         """
         return None
 
+    def _decode_heavy_batch(self, dets: np.ndarray) -> np.ndarray | None:
+        """Whole-batch predictions for the heavy unique syndromes ``dets``.
+
+        Decoders with a vectorized kernel that is *bit-identical* to
+        their per-shot ``decode`` override this (union-find routes
+        through the lockstep kernel); its results populate the
+        ``batched`` tier and the LRU.  Return ``None`` (the default, and
+        the required behavior whenever the kernel cannot serve this
+        graph) to fall back to the per-unique ``full`` decode loop.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Batched interface
     # ------------------------------------------------------------------
@@ -178,52 +214,90 @@ class SyndromeDecoder:
         weights = unique_dets.sum(axis=1, dtype=np.int64)
         predictions = np.zeros(len(index), dtype=np.int64)
         tiers = {t: 0 for t in TIER_NAMES}
-        tiers["trivial"] = int(np.count_nonzero(weights == 0))
+        hits_before = self._lru.hits
+        misses_before = self._lru.misses
 
-        w1 = np.flatnonzero(weights == 1)
-        if w1.size:
-            predictions[w1] = self._weight1_predictions(np.argmax(unique_dets[w1], axis=1))
-            tiers["weight1"] = int(w1.size)
+        if int(weights.min()) > 2:
+            # All-full fast path (the regime at threshold): no weight
+            # tier can fire, so skip their setup — table gathers, argmax
+            # and pair extraction — entirely.
+            heavy = np.arange(len(index))
+        else:
+            tiers["trivial"] = int(np.count_nonzero(weights == 0))
 
-        heavy = np.flatnonzero(weights > 2)
-        w2 = np.flatnonzero(weights == 2)
-        if w2.size:
-            # np.nonzero is row-major, so each row contributes its two
-            # fired columns in ascending order.
-            pairs = np.nonzero(unique_dets[w2])[1].reshape(-1, 2)
-            analytic = self._decode_weight2_batch(pairs[:, 0], pairs[:, 1])
-            if analytic is None:
-                heavy = np.sort(np.concatenate([heavy, w2]))
-            else:
-                predictions[w2] = analytic
-                tiers["weight2"] = int(w2.size)
+            w1 = np.flatnonzero(weights == 1)
+            if w1.size:
+                predictions[w1] = self._weight1_predictions(
+                    np.argmax(unique_dets[w1], axis=1)
+                )
+                tiers["weight1"] = int(w1.size)
+
+            heavy = np.flatnonzero(weights > 2)
+            w2 = np.flatnonzero(weights == 2)
+            if w2.size:
+                # np.nonzero is row-major, so each row contributes its two
+                # fired columns in ascending order.
+                pairs = np.nonzero(unique_dets[w2])[1].reshape(-1, 2)
+                analytic = self._decode_weight2_batch(pairs[:, 0], pairs[:, 1])
+                if analytic is None:
+                    heavy = np.sort(np.concatenate([heavy, w2]))
+                else:
+                    predictions[w2] = analytic
+                    tiers["weight2"] = int(w2.size)
 
         if heavy.size:
-            lru = self._lru
-            capacity = self.lru_capacity
-            for k in heavy:
-                key = unique_rows[k].tobytes()
-                cached = lru.get(key)
-                if cached is not None:
-                    lru.move_to_end(key)
-                    predictions[k] = cached
-                    tiers["cached"] += 1
-                    continue
-                prediction = self._checked_decode(np.flatnonzero(unique_dets[k]).tolist())
-                predictions[k] = prediction
-                tiers["full"] += 1
-                if capacity > 0:
-                    lru[key] = prediction
-                    if len(lru) > capacity:
-                        lru.popitem(last=False)
+            keys = self._lru.keys_for(unique_rows[heavy])
+            hit, cached_values = self._lru.get_many(keys)
+            hits = int(np.count_nonzero(hit))
+            if hits:
+                predictions[heavy[hit]] = cached_values[hit]
+                tiers["cached"] = hits
+            if hits < heavy.size:
+                miss_pos = np.flatnonzero(~hit)
+                missing = heavy[miss_pos]
+                miss_dets = unique_dets[missing]
+                decoded = self._decode_heavy_batch(miss_dets)
+                if decoded is not None:
+                    decoded = np.asarray(decoded, dtype=np.int64)
+                    tiers["batched"] = int(missing.size)
+                else:
+                    # Per-unique full decode; one np.nonzero over the
+                    # block replaces a per-row flatnonzero.
+                    decoded = np.zeros(missing.size, dtype=np.int64)
+                    row_idx, col_idx = np.nonzero(miss_dets)
+                    bounds = np.searchsorted(
+                        row_idx, np.arange(missing.size + 1)
+                    )
+                    for i in range(missing.size):
+                        decoded[i] = self._checked_decode(
+                            col_idx[bounds[i] : bounds[i + 1]].tolist()
+                        )
+                    tiers["full"] = int(missing.size)
+                predictions[missing] = decoded
+                self._lru.put_many([keys[i] for i in miss_pos], decoded)
 
-        self._record_stats(shots, tiers, unique=len(index))
+        self._record_stats(
+            shots,
+            tiers,
+            unique=len(index),
+            lru_hits=self._lru.hits - hits_before,
+            lru_misses=self._lru.misses - misses_before,
+        )
         return predictions[np.asarray(inverse).ravel()]
 
-    def _record_stats(self, shots: int, tiers: dict[str, int], unique: int = 0) -> None:
+    def _record_stats(
+        self,
+        shots: int,
+        tiers: dict[str, int],
+        unique: int = 0,
+        lru_hits: int = 0,
+        lru_misses: int = 0,
+    ) -> None:
         stats = dict(tiers)
         stats["unique"] = unique
         stats["shots"] = shots
+        stats["lru_hits"] = lru_hits
+        stats["lru_misses"] = lru_misses
         self.last_batch_stats = stats
         for key, value in stats.items():
             self.tier_counts[key] += value

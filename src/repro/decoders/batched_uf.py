@@ -1,0 +1,653 @@
+"""Batched lockstep union-find growth kernel.
+
+At threshold (p≈5e-3) nearly every syndrome is unique and heavy, so the
+table/LRU tiers of ``decode_batch`` never fire and decode throughput is
+the per-shot pure-Python flat-array union-find.  This kernel removes that
+floor by growing *all* unique syndromes of a batch simultaneously: state
+lives in 2-D numpy arrays shaped ``(batch, n_nodes)`` / ``(batch,
+n_edges)`` over the *shared* flat edge arrays the
+:class:`~repro.decoders.unionfind.UnionFindDecoder` already built, so
+every growth round is a handful of vectorized passes instead of an
+interpreted per-edge loop per shot.
+
+Per lockstep iteration:
+
+1. **Cluster activity** — cluster parity and boundary contact are kept
+   *incrementally* at root positions only (merges XOR the absorbed
+   root's parity into the surviving root and zero the stale slot), so
+   activity is two elementwise int8 passes, not a per-round reduction.
+   The boundary node starts as a boundary-flagged parity-0 singleton, so
+   any cluster that absorbs it goes inactive automatically.
+2. **Frontier discovery** — the frontier is *discovered*, not scanned:
+   one gather of per-root activity through the (global-coordinate)
+   parent array marks the members of active clusters as "hot", and hot
+   nodes expand through a CSR adjacency built once over the shared
+   endpoint arrays into an entry list of candidate ``(shot, edge)``
+   pairs.  Entries whose other endpoint has the same root (internal
+   edges) or whose edge already completed are dropped — what survives
+   is exactly the edge set the flat decoder's pass 1 rates, each entry
+   carrying the full rate ``1 + activity(other root)``.  A node whose
+   every incident edge has become internal or complete is permanently
+   retired from expansion (both conditions are monotone), so per-round
+   work tracks the live cluster surface, not the graph size.
+3. **Completion jump** — the flat decoder's fast-forward trick
+   generalized per shot, computed on the entry list: remaining
+   lengths, ceil-divided slack, and the per-shot ``k = min over the
+   frontier of ceil(remaining / rate)`` run segmented per shot
+   (``minimum.reduceat`` over the row-major entries).  Every live shot
+   completes at least one edge per iteration; shots whose clusters are
+   all even or boundary-tied are retired — support frozen, rows
+   compacted away — so the loop narrows to the *last* shots still
+   growing, and no pass in the loop touches a ``(rows, n_edges)``
+   array.
+4. **Merges** — an edge between two active clusters appears in the
+   entry list once per side, with both copies agreeing on rate and
+   growth; at completion the copy seen from the smaller root is kept so
+   each genuine completion is processed exactly once and enters the
+   support.  Genuine edges union their endpoint clusters by iterated
+   min-root hooking on the small per-edge root arrays — hook the larger
+   root id onto the smaller, re-chase lost writes, then recompress the
+   live rows by pointer jumping.  Min-root hooking keeps every parent
+   pointer non-increasing, so the pointer graph stays acyclic and a
+   retired root can never become a root again — which is what lets
+   parity live only at root slots.
+
+All working arrays are allocated once per kernel and reused across calls
+(``growth`` is int16, rates and parities int8), and every full-width
+pass is an ``out=``-targeted ufunc: the kernel's steady-state allocation
+rate is ~zero, which matters because numpy routes MB-sized temporaries
+through mmap and the page-fault churn costs more than the arithmetic.
+
+**Determinism contract.**  The support returned per shot is identical
+to the flat decoder's (both realize the unit-step growth trajectory —
+the internal-edge rating only subdivides the exact path's jumps, never
+changes any cluster's growth or merge round; ``traces`` mode runs the
+exact full-width loop and the regression tests pin it round by round),
+and peeling *is* the flat decoder's canonical ``_peel`` — sorted support
+edges, boundary-first roots — called per shot on its typically tiny
+support.  Corrections are therefore bit-identical to per-shot flat
+decoding, which keeps every pinned ledger, bench count, and resume
+contract unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BatchedUnionFind", "DEFAULT_LOCKSTEP"]
+
+#: Shots grown per lockstep sub-batch.  Bounds the kernel's working set
+#: (the preallocated ``(lockstep, n_edges)`` buffer pool is ~15 MB at
+#: d=7) while keeping the vectorized passes wide enough to amortize
+#: numpy dispatch.
+DEFAULT_LOCKSTEP = 512
+
+_MAX_GROWTH_ROUNDS = 1_000_000
+#: int16 sentinel for "no frontier edge here" (exact path only); real
+#: ``need`` values are bounded by the discretized edge length.
+_NO_FRONTIER = np.int16(32767)
+#: Largest edge length the int16 growth state supports: growth can
+#: overshoot its length by at most ``2 * max_length`` in the final jump.
+_MAX_LENGTH = 10922
+
+
+class BatchedUnionFind:
+    """Lockstep growth over the shared arrays of a ``UnionFindDecoder``.
+
+    The kernel owns no graph data: edge endpoints, discretized lengths
+    and the boundary node index are the *same arrays* the flat decoder
+    lowered in its ``__init__`` (the analyzer's GRF003 pass checks the
+    sharing), so the two implementations cannot drift apart — and the
+    flat decoder remains the per-shot oracle the property tests compare
+    against, exactly like the legacy→flat transition.
+    """
+
+    def __init__(self, decoder, lockstep: int = DEFAULT_LOCKSTEP):
+        if lockstep < 1:
+            raise ValueError("lockstep must be >= 1")
+        self.decoder = decoder
+        self.lockstep = lockstep
+        self.boundary = decoder.boundary_node
+        self.num_detectors = decoder.graph.num_detectors
+        # Shared views, not copies: bit-identity starts with byte-identity
+        # of the graph lowering (lengths carry the weight discretization).
+        self.edge_u = decoder.edge_u
+        self.edge_v = decoder.edge_v
+        self.lengths = decoder.lengths
+        if len(self.lengths) and int(self.lengths.max()) > _MAX_LENGTH:
+            raise ValueError(
+                f"edge lengths exceed {_MAX_LENGTH} units; the int16 lockstep "
+                "kernel cannot represent the growth overshoot (lower max_units "
+                "or decode per shot)"
+            )
+        self._len16 = self.lengths.astype(np.int16)
+        # CSR adjacency over the shared endpoint arrays: for each node,
+        # the incident edge ids and the opposite endpoints.  The fast
+        # path discovers each shot's frontier by expanding the members of
+        # active clusters through this structure, so per-round work is
+        # proportional to cluster size, not to the edge count.
+        n1 = self.num_detectors + 1
+        num_edges = len(self.lengths)
+        ends = np.concatenate([self.edge_u, self.edge_v])
+        order = np.argsort(ends, kind="stable")
+        self._adj_edge = np.tile(
+            np.arange(num_edges, dtype=np.int32), 2
+        )[order]
+        self._adj_other = np.concatenate(
+            [self.edge_v, self.edge_u]
+        )[order].astype(np.int32)
+        self._indptr = np.zeros(n1 + 1, np.int32)
+        np.cumsum(np.bincount(ends, minlength=n1), out=self._indptr[1:])
+        self._deg = np.diff(self._indptr)
+        self._seq = np.arange(4 * num_edges, dtype=np.int32)
+        self._rows = 0  # allocated buffer rows; grown on demand in _ensure
+
+    # ------------------------------------------------------------------
+    def _ensure(self, rows: int) -> None:
+        """(Re)allocate the reusable buffer pool for at least ``rows`` rows."""
+        if rows <= self._rows:
+            return
+        rows = max(rows, self.lockstep)
+        n1 = self.num_detectors + 1
+        num_edges = len(self._len16)
+        if rows * max(n1, num_edges) >= 2**31:
+            raise ValueError(
+                "batch too large for the kernel's int32 flat indexing"
+            )
+        shape_n = (rows, n1)
+        shape_e = (rows, num_edges)
+        # Per-shot cluster state (int8 parity/boundary live at root slots).
+        self._parent = np.empty(shape_n, np.int32)
+        self._par = np.empty(shape_n, np.int8)
+        self._bnd = np.empty(shape_n, np.int8)
+        self._act = np.empty(shape_n, np.int8)
+        self._nact = np.empty(shape_n, np.int8)
+        self._growth = np.empty(shape_e, np.int16)
+        self._complete = np.empty(shape_e, bool)
+        self._surf = np.empty(shape_n, np.int8)
+        self._unit_round = np.empty(rows, np.int32)
+        # Gather/scratch buffers, one per hot pass.
+        self._au = np.empty(shape_e, np.int8)
+        self._av = np.empty(shape_e, np.int8)
+        self._rate = np.empty(shape_e, np.int8)
+        self._ru = np.empty(shape_e, np.int32)
+        self._rv = np.empty(shape_e, np.int32)
+        self._need = np.empty(shape_e, np.int16)
+        self._t16 = np.empty(shape_e, np.int16)
+        self._b1 = np.empty(shape_e, bool)
+        self._b2 = np.empty(shape_e, bool)
+        self._ixn = np.empty(shape_n, np.int32)
+        self._hop = np.empty(shape_n, np.int32)
+        self._beq = np.empty(shape_n, bool)
+        # Flat-index bases: buffer row r of a (rows, n1) array starts at
+        # flat offset r*n1, so ``row_off + node`` gathers straight out of
+        # the raveled buffer with no 2-D advanced indexing.
+        self._row_off = (np.arange(rows, dtype=np.int32) * n1)[:, None]
+        self._idx_u = self.edge_u[None, :] + self._row_off
+        self._idx_v = self.edge_v[None, :] + self._row_off
+        # Raveled views for flat takes/scatters (share the buffers above).
+        self._pflat = self._parent.reshape(-1)
+        self._ixnflat = self._ixn.reshape(-1)
+        self._parflat = self._par.reshape(-1)
+        self._bndflat = self._bnd.reshape(-1)
+        self._actflat = self._act.reshape(-1)
+        self._gflat = self._growth.reshape(-1)
+        self._cflat = self._complete.reshape(-1)
+        self._surfflat = self._surf.reshape(-1)
+        self._rows = rows
+
+    def _init_state(self, dets: np.ndarray, live_ids: np.ndarray) -> None:
+        """Reset the pooled per-shot state for ``live_ids.size`` rows.
+
+        Every event node starts as its own odd singleton, the boundary a
+        boundary-flagged even one, everything else an even singleton
+        (absorbing a node is just hooking it into a cluster, so occupancy
+        needs no array).
+        """
+        a = live_ids.size
+        n = dets.shape[1]
+        self._parent[:a] = np.arange(n + 1, dtype=np.int32)
+        self._par[:a] = 0
+        self._par[:a, :n] = dets[live_ids]
+        self._bnd[:a] = 0
+        self._bnd[:a, self.boundary] = 1
+        self._growth[:a] = 0
+        self._complete[:a] = False
+        self._surf[:a] = 1
+        self._unit_round[:a] = 0
+
+    # ------------------------------------------------------------------
+    def decode_batch(self, dets: np.ndarray) -> np.ndarray:
+        """Corrections for a ``(shots, num_detectors)`` bool array.
+
+        Bit-identical to calling the flat decoder's ``decode`` per row.
+        Rows are processed in ``lockstep``-sized sub-batches; sub-batch
+        boundaries cannot change any row's result (each shot's growth is
+        independent — lockstep only shares the *passes*, never state).
+        """
+        dets = np.asarray(dets, dtype=bool)
+        if dets.ndim != 2 or dets.shape[1] != self.num_detectors:
+            raise ValueError(
+                f"expected (shots, {self.num_detectors}) syndromes, got {dets.shape}"
+            )
+        predictions = np.zeros(dets.shape[0], dtype=np.int64)
+        # Group shots of similar weight into the same lockstep sub-batch:
+        # a sub-batch runs until its *slowest* shot completes, so sorting
+        # retires the easy sub-batches in a handful of iterations instead
+        # of dragging every slice through the global worst case.  Order
+        # cannot change any result — each shot's growth is independent.
+        order = np.argsort(dets.sum(axis=1, dtype=np.int32), kind="stable")
+        for lo in range(0, dets.shape[0], self.lockstep):
+            sel = order[lo : lo + self.lockstep]
+            rows = dets[sel]
+            support = self.grow_batch(rows)
+            predictions[sel] = self._peel_batch(rows, support)
+        return predictions
+
+    # ------------------------------------------------------------------
+    def grow_batch(
+        self, dets: np.ndarray, traces: list[list] | None = None
+    ) -> np.ndarray:
+        """Grow all shots of one sub-batch; returns a (shots, edges) support mask.
+
+        ``traces``, when given, must hold one list per shot; each live
+        shot appends one ``(unit_round, {edge: growth})`` entry per
+        completion round in unit-round numbering — the same format the
+        flat decoder and the unit-step reference emit, so the regression
+        tests can pin all three against each other.  Tracing runs the
+        exact full-width loop (internal edges masked at rating time, as
+        in the flat decoder); the default path rates internal edges too
+        and filters them at completion time, which subdivides some jumps
+        but returns the identical support.
+        """
+        dets = np.asarray(dets, dtype=bool)
+        if dets.ndim != 2 or dets.shape[1] != self.num_detectors:
+            raise ValueError(
+                f"expected (shots, {self.num_detectors}) syndromes, got {dets.shape}"
+            )
+        if traces is not None:
+            return self._grow_exact(dets, traces)
+        return self._grow_fast(dets)
+
+    # ------------------------------------------------------------------
+    def _grow_fast(self, dets: np.ndarray) -> np.ndarray:
+        """Sparse-frontier lockstep growth (the decode hot path).
+
+        Per iteration the frontier is *discovered*, not scanned: the
+        members of active clusters ("hot" nodes — found with one small
+        ``(rows, n_nodes)`` gather) expand through the shared CSR
+        adjacency into an entry list of candidate edges, and internal
+        (same root on both sides) and completed edges are dropped from
+        it.  What survives is exactly the edge set the flat decoder
+        rates, each entry carrying its full rate ``1 + activity(other
+        root)`` — an edge between two active clusters appears once per
+        side, with both copies agreeing on rate and growth, so last-wins
+        scatters are deterministic.  No pass in the loop touches a
+        ``(rows, n_edges)`` array.
+        """
+        batch, n = dets.shape
+        n1 = n + 1
+        num_edges = len(self._len16)
+        support = np.zeros((batch, num_edges), dtype=bool)
+
+        # Rows with no events are done before the first round.
+        live_ids = np.flatnonzero(dets.any(axis=1))
+        a = live_ids.size
+        if a == 0:
+            return support
+        self._ensure(a)
+        self._init_state(dets, live_ids)
+
+        len16 = self._len16
+        eu, ev = self.edge_u, self.edge_v
+        parent, pflat = self._parent, self._pflat
+        par, bnd, act, nact = self._par, self._bnd, self._act, self._nact
+        parflat, bndflat = self._parflat, self._bndflat
+        actflat = self._actflat
+        growth, complete = self._growth, self._complete
+        surf, surfflat = self._surf, self._surfflat
+        gflat, cflat = self._gflat, self._cflat
+        unit_round = self._unit_round
+        row_off = self._row_off
+        adj_edge, adj_other = self._adj_edge, self._adj_other
+        indptr, deg = self._indptr, self._deg
+        seg = np.arange(a + 1, dtype=np.int32)
+        # The fast path keeps parents in *global* flat coordinates
+        # (``row*n1 + node``): every root gather, activity lookup,
+        # hook, chase and compression pass then indexes the raveled
+        # buffers directly, with no per-pass row-offset add.
+        np.add(parent[:a], row_off[:a], out=parent[:a])
+
+        while True:
+            # Active roots: odd parity, no boundary contact.  Stale
+            # non-root slots are zeroed at merge time, so activity (and
+            # the per-shot done test) is exact on the whole row.
+            np.subtract(1, bnd[:a], out=act[:a])
+            np.multiply(act[:a], par[:a], out=act[:a])
+            alive = act[:a].any(axis=1)
+
+            # Retire finished shots: freeze their support, compact the
+            # live rows to the front so every later pass narrows.
+            if not alive.all():
+                done = ~alive
+                support[live_ids[done]] = complete[:a][done]
+                keep = np.flatnonzero(alive)
+                a = keep.size
+                if a == 0:
+                    return support
+                for buf in (parent, par, bnd, act, growth, complete, surf):
+                    buf[:a] = buf[: alive.size][keep]
+                unit_round[:a] = unit_round[: alive.size][keep]
+                live_ids = live_ids[keep]
+                seg = seg[: a + 1]
+                # Global parent values encode the row they lived in —
+                # rebase rows that moved during compaction.
+                shift = ((keep - seg[:a]) * n1).astype(np.int32)
+                if shift.any():
+                    parent[:a] -= shift[:, None]
+
+            # Hot nodes — members of active clusters, minus nodes whose
+            # every incident edge has become internal or complete (both
+            # conditions are permanent, so once a node stops producing
+            # frontier entries it never produces one again and the
+            # ``surf`` mask retires it from expansion for good).
+            np.take(actflat, parent[:a], out=nact[:a], mode="clip")
+            np.multiply(nact[:a], surf[:a], out=nact[:a])
+            hs, hn = np.nonzero(nact[:a])
+            hs = hs.astype(np.int32)
+            hn = hn.astype(np.int32)
+            hb = hs * n1
+            hidx = hb + hn
+
+            # Expand hot nodes through the CSR adjacency into an entry
+            # list (shot, edge, other endpoint) — row-major in the shot
+            # index by construction, so segments need no sort.
+            dh = deg.take(hn)
+            cum = np.cumsum(dh)
+            starts = cum - dh
+            total = int(cum[-1])
+            if total > self._seq.size:
+                self._seq = np.arange(total * 2, dtype=np.int32)
+            pos = self._seq[:total] + np.repeat(indptr.take(hn) - starts, dh)
+            eidx = adj_edge.take(pos)
+            gbase = np.repeat(hb, dh)  # shot offset per entry
+            shr = np.repeat(hs, dh)
+            fi = shr * num_edges + eidx
+
+            # Keep the edges the flat decoder would rate: not internal
+            # (other endpoint's root differs) and not completed.
+            ro = pflat.take(gbase + adj_other.take(pos))
+            rrep = np.repeat(pflat.take(hidx), dh)
+            m = rrep != ro
+            m &= ~cflat.take(fi)
+            if total and dh.all():
+                produced = np.logical_or.reduceat(m, starts)
+                exhausted = hidx[~produced]
+                if exhausted.size:
+                    surfflat[exhausted] = 0
+            sel = np.flatnonzero(m)
+            fi = fi.take(sel)
+            ed = eidx.take(sel)
+            sh = shr.take(sel)
+            rsrc = rrep.take(sel)  # this side's root (the hot node's cluster)
+            roth = ro.take(sel)  # other endpoint's root
+            rate = actflat.take(roth)
+            np.add(rate, np.int8(1), out=rate)  # 1 + other side's activity
+
+            bounds = np.searchsorted(sh, seg)
+            if bounds[-1] == 0 or (np.diff(bounds) == 0).any():
+                # An active cluster with no frontier left (disconnected
+                # component) — the same failure the flat decoder raises.
+                raise RuntimeError("union-find growth failed to terminate")
+
+            # Per-shot completion jump on the entry list: k = min over
+            # the shot's frontier of ceil(remaining / rate).
+            g = gflat.take(fi)
+            lens = len16.take(ed)
+            shift = rate >> 1  # 0 for rate 1, 1 for rate 2
+            need = np.right_shift(np.subtract(lens, g) + shift, shift)
+            k = np.minimum.reduceat(need, bounds[:-1])
+            np.add(unit_round[:a], k, out=unit_round[:a])
+            if int(unit_round[:a].max()) > _MAX_GROWTH_ROUNDS:  # pragma: no cover
+                raise RuntimeError("union-find growth failed to terminate")
+
+            # Apply the jump and complete what finished; every surviving
+            # entry is an edge the flat decoder rates, so completions go
+            # straight into the support.  A rate-2 edge finished from
+            # both sides — keep the copy seen from the smaller root so
+            # each completion is processed once.
+            g += rate.astype(np.int16) * k.take(sh)
+            gflat[fi] = g
+            finished = g >= lens
+            finished &= (rate == np.int8(1)) | (rsrc < roth)
+            cflat[fi[finished]] = True
+
+            # Merge across the newly completed edges — their pre-merge
+            # endpoint roots are the entry's (rsrc, roth) pair, already
+            # in hand.  Parity/boundary of every involved pre-merge root
+            # is lifted out, the slots zeroed, and the values scattered
+            # back onto the post-merge roots (XOR for parity, OR for
+            # boundary) so root slots stay exact.
+            root_a = rsrc[finished]
+            root_b = roth[finished]
+            # Sorted dedup of the involved root slots (every live shot
+            # completes at least one edge, so the list is never empty);
+            # plain sort beats hash-unique at these sizes.
+            rf = np.sort(np.concatenate([root_a, root_b]))
+            first = np.empty(rf.size, bool)
+            first[0] = True
+            np.not_equal(rf[1:], rf[:-1], out=first[1:])
+            roots_flat = rf[first]
+            vals_par = parflat[roots_flat]
+            vals_bnd = bndflat[roots_flat]
+            parflat[roots_flat] = 0
+            bndflat[roots_flat] = 0
+            self._merge_sparse(a, root_a, root_b)
+            new_roots = pflat[roots_flat]
+            np.bitwise_xor.at(parflat, new_roots, vals_par)
+            np.bitwise_or.at(bndflat, new_roots, vals_bnd)
+
+    # ------------------------------------------------------------------
+    def _merge_sparse(
+        self, a: int, root_a: np.ndarray, root_b: np.ndarray
+    ) -> None:
+        """Union across completed edges by iterated min-root hooking.
+
+        Roots arrive in global flat coordinates, so hooks and the root
+        re-chasing after lost writes (two merges sharing a root in one
+        pass) index the raveled parent buffer directly and run on the
+        small per-edge arrays only; the full rows are recompressed by
+        pointer jumping *once*, after the hook loop converges.
+        Min-hooking keeps parent pointers non-increasing, hence acyclic,
+        so a retired root can never become a root again — which is what
+        lets parity live only at root slots.
+        """
+        pflat, parent = self._pflat, self._parent
+        h = root_a.size
+        rr = np.concatenate([root_a, root_b])
+        while True:
+            ra = rr[:h]
+            rb = rr[h:]
+            unmerged = ra != rb
+            if not unmerged.any():
+                break
+            lo = np.minimum(ra, rb)[unmerged]
+            hi = np.maximum(ra, rb)[unmerged]
+            pflat[hi] = lo
+            while True:  # re-chase every endpoint root after the hooks
+                nxt = pflat[rr]
+                if (nxt == rr).all():
+                    break
+                rr = nxt
+        while True:
+            np.take(pflat, parent[:a], out=self._hop[:a], mode="clip")
+            np.equal(self._hop[:a], parent[:a], out=self._beq[:a])
+            if self._beq[:a].all():
+                break
+            parent[:a] = self._hop[:a]
+
+    # ------------------------------------------------------------------
+    def _hook_and_compress(
+        self, a: int, base: np.ndarray, end_u: np.ndarray, end_v: np.ndarray
+    ) -> None:
+        """Union across completed edges by iterated min-root hooking.
+
+        Hook the larger root under the smaller, recompress all rows by
+        pointer jumping, repeat until no completed edge spans two roots —
+        lost writes (two merges sharing a root in one pass) are
+        re-detected next pass, and min-hooking keeps parent pointers
+        non-increasing, hence acyclic.
+        """
+        pflat, parent = self._pflat, self._parent
+        su = base + end_u
+        sv = base + end_v
+        while True:
+            root_a = pflat[su]
+            root_b = pflat[sv]
+            unmerged = root_a != root_b
+            if not unmerged.any():
+                return
+            low = np.minimum(root_a, root_b)[unmerged]
+            high = np.maximum(root_a, root_b)[unmerged]
+            pflat[base[unmerged] + high] = low
+            while True:
+                np.add(parent[:a], self._row_off[:a], out=self._ixn[:a])
+                np.take(pflat, self._ixn[:a], out=self._hop[:a], mode="clip")
+                np.equal(self._hop[:a], parent[:a], out=self._beq[:a])
+                if self._beq[:a].all():
+                    break
+                parent[:a] = self._hop[:a]
+
+    # ------------------------------------------------------------------
+    def _grow_exact(self, dets: np.ndarray, traces: list[list]) -> np.ndarray:
+        """Full-width lockstep growth with internal edges masked at
+        rating time — the flat decoder's rating rule verbatim, used for
+        round-by-round trace pinning (every live shot appends one trace
+        entry per completion round, exactly like the flat decoder)."""
+        batch, n = dets.shape
+        n1 = n + 1
+        num_edges = len(self._len16)
+        lengths = self._len16[None, :]
+        support = np.zeros((batch, num_edges), dtype=bool)
+
+        live_ids = np.flatnonzero(dets.any(axis=1))
+        a = live_ids.size
+        if a == 0:
+            return support
+        self._ensure(a)
+        self._init_state(dets, live_ids)
+
+        len16 = self._len16
+        eu, ev = self.edge_u, self.edge_v
+        parent, pflat = self._parent, self._pflat
+        par, bnd, act = self._par, self._bnd, self._act
+        parflat, bndflat, actflat = self._parflat, self._bndflat, self._actflat
+        growth, complete = self._growth, self._complete
+        unit_round = self._unit_round
+        ru, rv, au, av = self._ru, self._rv, self._au, self._av
+        rate, need, t16 = self._rate, self._need, self._t16
+        b1, b2 = self._b1, self._b2
+        row_off = self._row_off
+
+        while True:
+            np.subtract(1, bnd[:a], out=act[:a])
+            np.multiply(act[:a], par[:a], out=act[:a])
+            alive = act[:a].any(axis=1)
+            if not alive.all():
+                done = ~alive
+                support[live_ids[done]] = complete[:a][done]
+                keep = np.flatnonzero(alive)
+                a = keep.size
+                if a == 0:
+                    return support
+                for buf in (parent, par, bnd, act, growth, complete):
+                    buf[:a] = buf[: alive.size][keep]
+                unit_round[:a] = unit_round[: alive.size][keep]
+                live_ids = live_ids[keep]
+
+            # Endpoint roots and their activity; internal (same-root) and
+            # completed edges are masked to rate 0, exactly as in the
+            # flat decoder's pass 1.
+            np.take(pflat, self._idx_u[:a], out=ru[:a], mode="clip")
+            np.take(pflat, self._idx_v[:a], out=rv[:a], mode="clip")
+            np.add(ru[:a], row_off[:a], out=ru[:a])
+            np.add(rv[:a], row_off[:a], out=rv[:a])
+            np.take(actflat, ru[:a], out=au[:a], mode="clip")
+            np.take(actflat, rv[:a], out=av[:a], mode="clip")
+            np.add(au[:a], av[:a], out=rate[:a])
+            np.equal(ru[:a], rv[:a], out=b1[:a])
+            np.copyto(rate[:a], np.int8(0), where=b1[:a])
+            np.copyto(rate[:a], np.int8(0), where=complete[:a])
+
+            # Per-shot completion jump: k = min over the shot's frontier
+            # of ceil(remaining / rate); k unit rounds collapse into one.
+            np.subtract(lengths, growth[:a], out=need[:a])
+            np.add(need[:a], np.int16(1), out=t16[:a])
+            np.right_shift(t16[:a], 1, out=t16[:a])
+            np.equal(rate[:a], np.int8(2), out=b2[:a])
+            np.copyto(need[:a], t16[:a], where=b2[:a])
+            np.equal(rate[:a], np.int8(0), out=b2[:a])
+            np.copyto(need[:a], _NO_FRONTIER, where=b2[:a])
+            k = need[:a].min(axis=1)
+            if (k == _NO_FRONTIER).any():
+                raise RuntimeError("union-find growth failed to terminate")
+            np.add(unit_round[:a], k, out=unit_round[:a])
+            if int(unit_round[:a].max()) > _MAX_GROWTH_ROUNDS:  # pragma: no cover
+                raise RuntimeError("union-find growth failed to terminate")
+
+            np.multiply(rate[:a], k[:, None], out=t16[:a])
+            np.add(growth[:a], t16[:a], out=growth[:a])
+            np.greater_equal(growth[:a], len16, out=b1[:a])
+            np.logical_not(complete[:a], out=b2[:a])
+            np.logical_and(b1[:a], b2[:a], out=b1[:a])  # newly completed
+            np.logical_or(complete[:a], b1[:a], out=complete[:a])
+            for i in range(a):
+                edges = np.flatnonzero(rate[i] > 0)
+                traces[live_ids[i]].append(
+                    (
+                        int(unit_round[i]),
+                        {int(e): int(growth[i, e]) for e in edges},
+                    )
+                )
+
+            # Merge across every newly completed edge (every live shot
+            # completes at least one); parity bookkeeping as in the fast
+            # path.  All completions are genuine here — internal edges
+            # were never rated.
+            shot_idx, edge_idx = np.nonzero(b1[:a])
+            base = shot_idx * n1
+            root_a = pflat[base + eu[edge_idx]]
+            root_b = pflat[base + ev[edge_idx]]
+            roots_flat = np.unique(np.concatenate([base + root_a, base + root_b]))
+            vals_par = parflat[roots_flat]
+            vals_bnd = bndflat[roots_flat]
+            parflat[roots_flat] = 0
+            bndflat[roots_flat] = 0
+            self._hook_and_compress(a, base, eu[edge_idx], ev[edge_idx])
+            new_roots = roots_flat - (roots_flat % n1) + pflat[roots_flat]
+            np.bitwise_xor.at(parflat, new_roots, vals_par)
+            np.bitwise_or.at(bndflat, new_roots, vals_bnd)
+
+    # ------------------------------------------------------------------
+    def _peel_batch(self, dets: np.ndarray, support: np.ndarray) -> np.ndarray:
+        """Canonical peel per shot — the flat decoder's own ``_peel``.
+
+        ``np.nonzero`` on the support mask yields each shot's completed
+        edges already in sorted-id order; the peel itself is delegated to
+        the flat decoder so predictions cannot diverge from it.
+        """
+        predictions = np.zeros(dets.shape[0], dtype=np.int64)
+        peel = self.decoder._peel
+        seg = np.arange(dets.shape[0] + 1)
+        shot_idx, edge_idx = np.nonzero(support)
+        bounds = np.searchsorted(shot_idx, seg)
+        ev_shot, ev_col = np.nonzero(dets)
+        ev_bounds = np.searchsorted(ev_shot, seg)
+        for b in range(dets.shape[0]):
+            if ev_bounds[b] == ev_bounds[b + 1]:
+                continue
+            predictions[b] = peel(
+                ev_col[ev_bounds[b] : ev_bounds[b + 1]].tolist(),
+                edge_idx[bounds[b] : bounds[b + 1]].tolist(),
+            )
+        return predictions

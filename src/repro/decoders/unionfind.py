@@ -136,6 +136,21 @@ class UnionFindDecoder(SyndromeDecoder):
         self._gen = 0
         self._round_stamp = 0
 
+        # Peeling state, also generation-stamped: per-node support
+        # adjacency, visited marks and event flags live in preallocated
+        # lists so the peel allocates nothing but the tiny per-cluster
+        # DFS order (the batched kernel calls ``_peel`` once per shot, so
+        # its constant factor is on the decode hot path).
+        self._pl_adj: list[list[int]] = [[] for _ in range(n + 1)]
+        self._pl_node_gen = [0] * (n + 1)
+        self._pl_visit_gen = [0] * (n + 1)
+        self._pl_flag_gen = [0] * (n + 1)
+        self._pl_flag = [False] * (n + 1)
+        self._pl_gen = 0
+
+        #: Lazily-built lockstep kernel (``False`` = not yet attempted).
+        self._batched = False
+
     # ------------------------------------------------------------------
     def decode(self, events: list[int]) -> int:
         """Predicted observable-flip mask for the given detection events."""
@@ -316,49 +331,104 @@ class UnionFindDecoder(SyndromeDecoder):
         Deterministic in the support *set* alone: edges are laid down in
         sorted-id order and forest roots visited boundary-first then in
         sorted-node order, so the prediction cannot depend on the order in
-        which growth happened to complete edges.
+        which growth happened to complete edges.  State lives in the
+        generation-stamped ``_pl_*`` arrays (no per-call dicts or sets);
+        the output is identical to the dict-based peel the legacy oracle
+        still runs.
         """
         eu, ev, eobs = self._eu, self._ev, self._eobs
         bnode = self.boundary_node
-        support_adj: dict[int, list[int]] = {}
+        gen = self._pl_gen = self._pl_gen + 1
+        node_gen = self._pl_node_gen
+        adj = self._pl_adj
+        nodes: list[int] = []
         for edge_id in sorted(support):
-            support_adj.setdefault(eu[edge_id], []).append(edge_id)
-            support_adj.setdefault(ev[edge_id], []).append(edge_id)
+            u, v = eu[edge_id], ev[edge_id]
+            if node_gen[u] == gen:
+                adj[u].append(edge_id)
+            else:
+                node_gen[u] = gen
+                adj[u] = [edge_id]
+                nodes.append(u)
+            if node_gen[v] == gen:
+                adj[v].append(edge_id)
+            else:
+                node_gen[v] = gen
+                adj[v] = [edge_id]
+                nodes.append(v)
 
-        flagged = set(events)
-        visited: set[int] = set()
+        flag_gen = self._pl_flag_gen
+        flag = self._pl_flag
+        for x in events:
+            flag_gen[x] = gen
+            flag[x] = True
+        unmatched = len(events)
+        visit_gen = self._pl_visit_gen
         prediction = 0
 
         # Roots: prefer the boundary node so leftover parity drains into it.
-        roots = [bnode] if bnode in support_adj else []
-        roots += sorted(n for n in support_adj if n != bnode)
+        roots = [bnode] if node_gen[bnode] == gen else []
+        roots += sorted(n for n in nodes if n != bnode)
         for root in roots:
-            if root in visited:
+            if visit_gen[root] == gen:
                 continue
-            visited.add(root)
+            visit_gen[root] = gen
             order: list[tuple[int, int, int]] = []  # (node, parent, edge_id)
             stack = [root]
             while stack:
                 u = stack.pop()
-                for edge_id in support_adj.get(u, ()):
+                for edge_id in adj[u]:
                     v = ev[edge_id] if eu[edge_id] == u else eu[edge_id]
-                    if v in visited:
+                    if visit_gen[v] == gen:
                         continue
-                    visited.add(v)
+                    visit_gen[v] = gen
                     order.append((v, u, edge_id))
                     stack.append(v)
             # Peel leaves first (reverse discovery order).
             for node, parent, edge_id in reversed(order):
-                if node in flagged:
-                    flagged.discard(node)
-                    if parent in flagged:
-                        flagged.discard(parent)
+                if flag_gen[node] == gen and flag[node]:
+                    flag[node] = False
+                    unmatched -= 1
+                    if flag_gen[parent] == gen and flag[parent]:
+                        flag[parent] = False
+                        unmatched -= 1
                     elif parent != bnode:
-                        flagged.add(parent)
+                        flag_gen[parent] = gen
+                        flag[parent] = True
+                        unmatched += 1
                     prediction ^= eobs[edge_id]
-        if flagged:  # pragma: no cover - parity invariant violated
-            raise RuntimeError(f"peeling left unmatched events: {sorted(flagged)}")
+        if unmatched:  # pragma: no cover - parity invariant violated
+            leftover = sorted(
+                x for x in range(len(flag)) if flag_gen[x] == gen and flag[x]
+            )
+            raise RuntimeError(f"peeling left unmatched events: {leftover}")
         return prediction
+
+    # ------------------------------------------------------------------
+    def batched_kernel(self):
+        """The shared-array lockstep kernel, or ``None`` if unsupported.
+
+        Built lazily on first use (the kernel preallocates a ~15 MB
+        buffer pool at d=7, which per-shot callers never need).  Returns
+        ``None`` when the graph's discretized lengths overflow the
+        kernel's int16 growth state; heavy syndromes then stay on the
+        per-shot ``full`` tier.
+        """
+        if self._batched is False:
+            from repro.decoders.batched_uf import BatchedUnionFind
+
+            try:
+                self._batched = BatchedUnionFind(self)
+            except ValueError:
+                self._batched = None
+        return self._batched
+
+    def _decode_heavy_batch(self, dets: np.ndarray) -> np.ndarray | None:
+        """Route heavy uniques through the lockstep kernel (``batched`` tier)."""
+        kernel = self.batched_kernel()
+        if kernel is None:
+            return None
+        return kernel.decode_batch(dets)
 
 
 class _DSU:

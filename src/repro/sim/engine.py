@@ -357,8 +357,10 @@ def count_logical_errors(
         backends statistically rather than bitwise.
     decode_stats:
         Optional dict that accumulates per-chunk decode-tier occupancy
-        (``trivial``/``weight1``/``weight2``/``cached``/``full`` plus
-        ``unique`` and ``shots``) summed over every chunk and worker.
+        (``trivial``/``weight1``/``weight2``/``cached``/``batched``/
+        ``full`` plus ``unique``, ``shots`` and the raw LRU counter
+        deltas ``lru_hits``/``lru_misses``) summed over every chunk and
+        worker.
         Per ``decode_batch``'s contract the tier counts of each chunk sum
         to its unique-syndrome count; the engine-scaling bench asserts
         the aggregate identity.  Note that ``unique``/``cached`` are

@@ -392,6 +392,30 @@ class TestGraph:
         decoder.adj_other[0] += 1
         assert {f.code for f in lint_graph(graph, decoder=decoder)} == {"GRF003"}
 
+    def test_batched_kernel_clean_and_copy_flagged(self, setup):
+        dem, _ = setup
+        graph = self._fresh(dem)
+        decoder = UnionFindDecoder(graph)
+        kernel = decoder.batched_kernel()
+        assert kernel is not None
+        assert lint_graph(graph, decoder=decoder) == []
+        # A copied (non-shared) edge array breaks the bit-identity
+        # contract even while its contents still agree.
+        kernel.lengths = kernel.lengths.copy()
+        findings = lint_graph(graph, decoder=decoder)
+        assert {f.code for f in findings} == {"GRF003"}
+        assert any("batched" in f.location for f in findings)
+
+    def test_batched_kernel_skewed_csr_flagged(self, setup):
+        dem, _ = setup
+        graph = self._fresh(dem)
+        decoder = UnionFindDecoder(graph)
+        kernel = decoder.batched_kernel()
+        kernel._adj_other[0] += 1
+        findings = lint_graph(graph, decoder=decoder)
+        assert {f.code for f in findings} == {"GRF003"}
+        assert any("batched.adj" in f.location for f in findings)
+
 
 # ----------------------------------------------------------------------
 # Diagnostics plumbing + driver

@@ -186,14 +186,19 @@ class TestDecodeBatch:
         decoder.decode_batch(tiled)
         # First call: weight-1 table entries are filled on demand (one
         # decode per observed single-event detector; union-find has no
-        # analytic override) and each unique weight>=2 syndrome is decoded
-        # once (union-find has no weight-2 table).
-        assert len(calls) == w1_detectors + unique_heavy
+        # analytic override); each unique weight>=2 syndrome goes through
+        # the lockstep kernel exactly once (the batched tier), never the
+        # per-shot decode.
+        assert len(calls) == w1_detectors
+        stats = decoder.last_batch_stats
+        assert stats["batched"] == unique_heavy
+        assert stats["full"] == 0
         # Second call: tables and the cross-batch LRU serve everything.
         calls.clear()
         repeat = decoder.decode_batch(tiled)
         assert len(calls) == 0
         stats = decoder.last_batch_stats
+        assert stats["batched"] == 0
         assert stats["full"] == 0
         assert stats["cached"] == unique_heavy
         np.testing.assert_array_equal(repeat, decoder.decode_batch(tiled))
