@@ -19,6 +19,12 @@ Commands
                 any error-severity finding); ``--ledger`` adds durable
                 run-ledger consistency checks (a file, or a service
                 directory to lint every ledger in it)
+``metrics``     render a metrics snapshot written by ``--obs-dir`` (human
+                text or ``--prometheus`` exposition), or diff two
+                snapshots with ``--diff``
+``trace``       summarize a span trace written by ``--obs-dir``;
+                ``--chrome`` exports Chrome ``trace_event`` JSON for a
+                flamegraph view in chrome://tracing or Perfetto
 ``serve``       run the long-lived campaign service: persistent
                 supervised worker fleet + shared caches serving queued
                 jobs over HTTP, with admission control, a circuit
@@ -34,7 +40,10 @@ appended to a JSONL run ledger, ``--resume`` continues an interrupted
 campaign bit-identically, ``--target-ci-width`` stops once the Wilson
 interval is tight enough, and ``--chaos`` injects deterministic faults
 for chaos testing.  A campaign interrupted by SIGINT/SIGTERM checkpoints
-and exits 130.
+and exits 130.  They also accept ``--obs-dir`` to arm the observability
+registry + tracer for the run and dump ``metrics.json`` / ``trace.jsonl``
+(see ``metrics`` and ``trace`` above); instrumentation never changes
+results.
 
 Every subcommand exits non-zero when a gate it checks fails (tier
 accounting mismatch, lint errors, failed certification).
@@ -43,6 +52,7 @@ accounting mismatch, lint errors, failed certification).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
@@ -162,14 +172,74 @@ def _add_durable_args(parser: argparse.ArgumentParser) -> None:
                          help="base of the exponential retry backoff")
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability knobs shared by the campaign commands."""
+    parser.add_argument("--obs-dir", default=None, metavar="DIR",
+                        help="enable observability for this run and write "
+                             "metrics.json (registry snapshot, renderable "
+                             "with `repro metrics`) and trace.jsonl (spans, "
+                             "renderable with `repro trace`) into DIR")
+
+
+@contextlib.contextmanager
+def _obs_session(args):
+    """Arm metrics + tracing for one campaign command when requested.
+
+    With ``--obs-dir`` the registry and tracer are enabled before the
+    body runs (``REPRO_OBS=1`` is exported so spawned pool workers arm
+    themselves and ship metric deltas back with their chunk results),
+    and the snapshot/spans are dumped on the way out — including on an
+    interrupted run, so a checkpointed campaign still leaves its
+    telemetry behind.  Observability never changes results; the engine's
+    block RNG streams are independent of instrumentation (pinned by
+    test_obs).
+    """
+    obs_dir = getattr(args, "obs_dir", None)
+    if obs_dir is None:
+        yield
+        return
+    import json as _json
+
+    from repro import obs
+
+    os.makedirs(obs_dir, exist_ok=True)
+    had_env = os.environ.get("REPRO_OBS")
+    os.environ["REPRO_OBS"] = "1"
+    reg = obs.enable()
+    tracer = obs.enable_tracing()
+    try:
+        yield
+    finally:
+        if had_env is None:
+            os.environ.pop("REPRO_OBS", None)
+        snapshot = reg.snapshot()
+        metrics_path = os.path.join(obs_dir, "metrics.json")
+        with open(metrics_path, "w") as handle:
+            _json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        trace_path = os.path.join(obs_dir, "trace.jsonl")
+        written = tracer.write_jsonl(trace_path)
+        obs.disable_tracing()
+        obs.disable()
+        print(f"obs: wrote {metrics_path} ({len(snapshot)} instruments) and "
+              f"{trace_path} ({written} spans)")
+
+
 def _run_durable(args, spec: dict, body) -> int:
     """Run ``body(executor)`` under the durable harness when requested.
 
     Without ``--ledger`` the body runs plain (``executor=None``).  With
     it, the campaign checkpoints into the ledger, SIGINT/SIGTERM become
     graceful stops (exit 130 with everything completed still durable),
-    and the durability report is appended to the output.
+    and the durability report is appended to the output.  All campaign
+    commands route through here, so this is also the single place
+    ``--obs-dir`` arms and dumps observability.
     """
+    with _obs_session(args):
+        return _run_durable_plain(args, spec, body)
+
+
+def _run_durable_plain(args, spec: dict, body) -> int:
     if args.ledger is None:
         for flag, value in (("--resume", args.resume),
                             ("--target-ci-width", args.target_ci_width),
@@ -583,6 +653,68 @@ def _cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_metrics(args) -> int:
+    import json as _json
+
+    from repro import obs
+
+    try:
+        with open(args.snapshot) as handle:
+            snapshot = _json.load(handle)
+    except (OSError, _json.JSONDecodeError) as exc:
+        print(f"error: cannot read snapshot {args.snapshot}: {exc}",
+              file=sys.stderr)
+        return 2
+    title = args.snapshot
+    if args.diff is not None:
+        try:
+            with open(args.diff) as handle:
+                before = _json.load(handle)
+        except (OSError, _json.JSONDecodeError) as exc:
+            print(f"error: cannot read snapshot {args.diff}: {exc}",
+                  file=sys.stderr)
+            return 2
+        # Counters/histograms diff; gauges pass through at their newer
+        # reading (same semantics workers use to ship chunk deltas).
+        snapshot = obs.snapshot_delta(snapshot, before)
+        title = f"{args.snapshot} minus {args.diff}"
+    if args.prometheus:
+        sys.stdout.write(obs.prometheus_text(snapshot))
+        return 0
+    print(obs.format_snapshot(snapshot, title=title))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json as _json
+
+    from repro import obs
+
+    try:
+        spans = obs.load_jsonl(args.trace)
+    except (OSError, _json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if args.chrome is not None:
+        document = obs.chrome_trace(spans)
+        with open(args.chrome, "w") as handle:
+            _json.dump(document, handle)
+            handle.write("\n")
+        print(f"wrote {len(document['traceEvents'])} trace_event record(s) "
+              f"to {args.chrome} (open in chrome://tracing or Perfetto)")
+    rows = obs.summarize_spans(spans)
+    if not rows:
+        print("(no spans)")
+        return 0
+    print(f"{'span':<28} {'count':>7} {'total':>12} {'self':>12}")
+    for row in rows[:args.top]:
+        print(f"{row['name']:<28} {row['count']:>7} "
+              f"{row['total_ns'] / 1e6:>10.3f}ms {row['self_ns'] / 1e6:>10.3f}ms")
+    if len(rows) > args.top:
+        print(f"... {len(rows) - args.top} more span name(s); raise --top")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.durable import RetryPolicy
     from repro.service import serve_forever
@@ -718,6 +850,7 @@ def main(argv: list[str] | None = None) -> int:
                                 "surgery window) p_program")
     _add_engine_args(threshold)
     _add_durable_args(threshold)
+    _add_obs_args(threshold)
 
     memory = sub.add_parser(
         "memory", help="one logical-memory Monte-Carlo point with tier accounting"
@@ -734,6 +867,7 @@ def main(argv: list[str] | None = None) -> int:
     memory.add_argument("--seed", type=int, default=0)
     _add_engine_args(memory)
     _add_durable_args(memory)
+    _add_obs_args(memory)
 
     compare = sub.add_parser(
         "compare", help="program-level compact-vs-natural architecture comparison"
@@ -771,6 +905,7 @@ def main(argv: list[str] | None = None) -> int:
                               "against the sampled stabilizer-tableau oracle")
     _add_engine_args(compare)
     _add_durable_args(compare)
+    _add_obs_args(compare)
 
     lint = sub.add_parser(
         "lint", help="static analysis of the preset matrix (symbolic GF(2) "
@@ -799,6 +934,33 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument("--ledger-only", action="store_true",
                       help="lint only the --ledger file, skipping the preset "
                            "matrix")
+
+    metrics_p = sub.add_parser(
+        "metrics", help="render a metrics snapshot written by --obs-dir "
+                        "(or diff two snapshots)"
+    )
+    metrics_p.add_argument("snapshot", metavar="SNAPSHOT.json",
+                           help="registry snapshot (metrics.json from "
+                                "--obs-dir, or a /metrics-era dump)")
+    metrics_p.add_argument("--diff", default=None, metavar="BEFORE.json",
+                           help="subtract this earlier snapshot: counters and "
+                                "histogram cells diff, gauges show the newer "
+                                "reading")
+    metrics_p.add_argument("--prometheus", action="store_true",
+                           help="emit Prometheus text exposition (version "
+                                "0.0.4) instead of the human rendering")
+
+    trace_p = sub.add_parser(
+        "trace", help="summarize a span trace written by --obs-dir; "
+                      "--chrome exports chrome://tracing / Perfetto "
+                      "trace_event JSON for a flamegraph view"
+    )
+    trace_p.add_argument("trace", metavar="TRACE.jsonl",
+                         help="span JSONL (trace.jsonl from --obs-dir)")
+    trace_p.add_argument("--chrome", default=None, metavar="OUT.json",
+                         help="also write Chrome trace_event JSON here")
+    trace_p.add_argument("--top", type=_positive_int, default=20,
+                         help="span names to show in the summary table")
 
     serve = sub.add_parser(
         "serve", help="run the long-lived campaign service: persistent "
@@ -863,19 +1025,28 @@ def main(argv: list[str] | None = None) -> int:
                       metavar="SECONDS")
 
     args = parser.parse_args(argv)
-    return {
-        "tables": _cmd_tables,
-        "magic": _cmd_magic,
-        "inventory": _cmd_inventory,
-        "threshold": _cmd_threshold,
-        "memory": _cmd_memory,
-        "compare": _cmd_compare,
-        "lint": _cmd_lint,
-        "serve": _cmd_serve,
-        "submit": _cmd_submit,
-        "status": _cmd_status,
-        "wait": _cmd_wait,
-    }[args.command](args)
+    try:
+        return {
+            "tables": _cmd_tables,
+            "magic": _cmd_magic,
+            "inventory": _cmd_inventory,
+            "threshold": _cmd_threshold,
+            "memory": _cmd_memory,
+            "compare": _cmd_compare,
+            "lint": _cmd_lint,
+            "metrics": _cmd_metrics,
+            "trace": _cmd_trace,
+            "serve": _cmd_serve,
+            "submit": _cmd_submit,
+            "status": _cmd_status,
+            "wait": _cmd_wait,
+        }[args.command](args)
+    except BrokenPipeError:
+        # `repro metrics ... | head` closes stdout early; exit quietly
+        # instead of dumping a traceback.  Redirect stdout to devnull so
+        # the interpreter's shutdown flush doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

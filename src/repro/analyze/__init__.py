@@ -9,7 +9,7 @@ over the preset matrix for the ``repro lint`` CLI subcommand.
 
 from repro.analyze.diagnostics import CODES, SEVERITIES, Diagnostic, LintReport
 from repro.analyze.graph import lint_graph, lint_unionfind
-from repro.analyze.lint import lint_matrix
+from repro.analyze.lint import lint_instruments, lint_matrix
 from repro.analyze.schedule import lint_schedule, static_refresh_violations
 from repro.analyze.symbolic import (
     SymbolicCertificationError,
@@ -30,6 +30,7 @@ __all__ = [
     "SymbolicTableau",
     "certify_deterministic",
     "lint_graph",
+    "lint_instruments",
     "lint_matrix",
     "lint_schedule",
     "lint_unionfind",

@@ -29,6 +29,8 @@ LED005    ledger unit summary does not reconcile with its blocks
 LED006    torn (unterminated) ledger tail tolerated  [warning]
 LED007    incomplete campaign or surplus blocks in ledger  [warning]
 LED008    ledger filename does not match its header run key  [warning]
+OBS001    instrument violates the ``repro_<layer>_<name>_<unit>`` naming
+          convention or is missing a help string / bucket edges
 ========  ==============================================================
 """
 
@@ -64,6 +66,7 @@ CODES = {
     "LED006": "torn ledger tail tolerated",
     "LED007": "incomplete campaign or surplus ledger blocks",
     "LED008": "ledger filename does not match its header run key",
+    "OBS001": "instrument violates the obs naming/metadata convention",
 }
 
 

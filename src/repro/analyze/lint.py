@@ -39,7 +39,36 @@ from repro.vlq.surgery import (
     partition_surgery,
 )
 
-__all__ = ["lint_matrix"]
+__all__ = ["lint_instruments", "lint_matrix"]
+
+
+def lint_instruments(specs=None) -> LintReport:
+    """OBS001: validate the obs instrument catalog (static, no execution).
+
+    Every registered instrument must match the
+    ``repro_<layer>_<name>_<unit>`` naming convention, carry a non-empty
+    help string, and (for histograms) declare strictly-increasing fixed
+    bucket edges — the properties exposition and deterministic snapshot
+    merging rely on.  ``specs`` defaults to the full catalog; tests pass
+    synthetic specs to pin that violations actually surface.
+    """
+    from repro.obs.catalog import CATALOG, check_spec
+
+    report = LintReport()
+    for spec in CATALOG if specs is None else specs:
+        report.count("instruments")
+        for problem in check_spec(spec):
+            report.extend(
+                [
+                    Diagnostic(
+                        "OBS001",
+                        "error",
+                        f"obs.catalog/{spec.name}",
+                        problem,
+                    )
+                ]
+            )
+    return report
 
 
 def _oracle_check(circuit, location: str) -> list[Diagnostic]:
@@ -96,6 +125,9 @@ def lint_matrix(
 ) -> LintReport:
     """Lint the full preset matrix; returns the aggregated report."""
     report = LintReport()
+    # The instrument catalog is global and static — lint it once per
+    # matrix run alongside the schedule/circuit/graph passes.
+    report.merge(lint_instruments())
     error_model = ErrorModel(
         hardware=MEMORY_HARDWARE, p=REFERENCE_PHYSICAL_ERROR, scale_coherence=False
     )

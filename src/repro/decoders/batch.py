@@ -51,8 +51,11 @@ misrouting).
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
+from repro import obs
 from repro.decoders.cache import PackedLRU
 
 __all__ = ["SyndromeDecoder", "TIER_NAMES"]
@@ -91,6 +94,7 @@ class SyndromeDecoder:
         self.tier_counts["lru_misses"] = 0
         #: tier occupancy of the most recent decode_batch call
         self.last_batch_stats: dict[str, int] | None = None
+        self._batch_t0 = 0.0  # decode_batch entry time when obs is enabled
 
     @property
     def lru_capacity(self) -> int:
@@ -201,6 +205,7 @@ class SyndromeDecoder:
         dets = np.asarray(dets, dtype=bool)
         if dets.ndim != 2:
             raise ValueError(f"expected a 2-D (shots, detectors) array, got {dets.shape}")
+        self._batch_t0 = perf_counter() if obs.enabled() else 0.0
         shots = dets.shape[0]
         if shots == 0:
             self._record_stats(0, {t: 0 for t in TIER_NAMES})
@@ -299,5 +304,25 @@ class SyndromeDecoder:
         stats["lru_hits"] = lru_hits
         stats["lru_misses"] = lru_misses
         self.last_batch_stats = stats
-        for key, value in stats.items():
-            self.tier_counts[key] += value
+        # The cumulative dict API (`tier_counts`) is kept as a
+        # compatibility view, accumulated by the same shared merge the
+        # registry snapshots use.
+        obs.merge_counts(self.tier_counts, stats)
+        reg = obs.active()
+        if reg is not None:
+            tier_counter = reg.counter("repro_decode_tier_shots_total")
+            for tier, count in tiers.items():
+                if count:
+                    tier_counter.inc(count, tier)
+            reg.counter("repro_decode_shots_total").inc(shots)
+            reg.counter("repro_decode_unique_total").inc(unique)
+            reg.counter("repro_decode_batches_total").inc()
+            if lru_hits:
+                reg.counter("repro_decode_lru_hits_total").inc(lru_hits)
+            if lru_misses:
+                reg.counter("repro_decode_lru_misses_total").inc(lru_misses)
+            if self._batch_t0:
+                reg.histogram("repro_decode_batch_seconds").observe(
+                    perf_counter() - self._batch_t0
+                )
+                self._batch_t0 = 0.0

@@ -72,7 +72,11 @@ contract unchanged.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
+
+from repro import obs
 
 __all__ = ["BatchedUnionFind", "DEFAULT_LOCKSTEP"]
 
@@ -230,6 +234,8 @@ class BatchedUnionFind:
             raise ValueError(
                 f"expected (shots, {self.num_detectors}) syndromes, got {dets.shape}"
             )
+        reg = obs.active()
+        t0 = perf_counter() if reg is not None else 0.0
         predictions = np.zeros(dets.shape[0], dtype=np.int64)
         # Group shots of similar weight into the same lockstep sub-batch:
         # a sub-batch runs until its *slowest* shot completes, so sorting
@@ -242,6 +248,12 @@ class BatchedUnionFind:
             rows = dets[sel]
             support = self.grow_batch(rows)
             predictions[sel] = self._peel_batch(rows, support)
+        if reg is not None:
+            reg.counter("repro_decode_kernel_calls_total").inc()
+            reg.counter("repro_decode_kernel_rows_total").inc(dets.shape[0])
+            reg.histogram("repro_decode_kernel_seconds").observe(
+                perf_counter() - t0
+            )
         return predictions
 
     # ------------------------------------------------------------------

@@ -47,6 +47,7 @@ import contextlib
 import signal
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.durable.faults import InjectedTornWrite
 from repro.durable.ledger import RunLedger
 from repro.durable.supervise import RetryPolicy, run_supervised
@@ -187,6 +188,10 @@ class DurableExecutor:
             # reuse it verbatim (including its early-stop point) — no
             # blocks execute, so resumed results cannot drift.
             outcome = self._outcome_from_summary(unit, prior_summary, prior)
+            if outcome.resumed_blocks:
+                obs.counter("repro_durable_blocks_total").inc(
+                    outcome.resumed_blocks, "resumed"
+                )
             self.units.append(outcome)
             if decode_stats is not None:
                 accumulate_decode_stats(decode_stats, outcome.stats)
@@ -207,6 +212,8 @@ class DurableExecutor:
                 "stats": record["stats"],
             }
             resumed += 1
+        if resumed:
+            obs.counter("repro_durable_blocks_total").inc(resumed, "resumed")
         executed = 0
 
         def on_block_done(outcome) -> bool:
@@ -220,6 +227,7 @@ class DurableExecutor:
                 "stats": outcome.stats,
             }
             executed += 1
+            obs.counter("repro_durable_blocks_total").inc(1, "executed")
             if self.on_block is not None:
                 # Cumulative durable totals for this unit (resumed blocks
                 # included) — exactly what a Wilson interval needs.
@@ -243,19 +251,21 @@ class DurableExecutor:
             decided.extend(wave)
             pending = [b for b in wave if b[0] not in done]
             if pending:
+                obs.counter("repro_durable_waves_total").inc()
                 try:
-                    supervised = run_supervised(
-                        pending,
-                        worker_args,
-                        unit=unit,
-                        workers=self.workers,
-                        policy=self.policy,
-                        fault=self.fault,
-                        on_block_done=on_block_done,
-                        on_event=self.ledger.record_event,
-                        should_abort=lambda: self._stop_requested,
-                        fleet=self.fleet,
-                    )
+                    with obs.span("durable.wave", unit=unit, pending=len(pending)):
+                        supervised = run_supervised(
+                            pending,
+                            worker_args,
+                            unit=unit,
+                            workers=self.workers,
+                            policy=self.policy,
+                            fault=self.fault,
+                            on_block_done=on_block_done,
+                            on_event=self.ledger.record_event,
+                            should_abort=lambda: self._stop_requested,
+                            fleet=self.fleet,
+                        )
                 except InjectedTornWrite:
                     self.request_stop("torn-write")
                     raise self._interrupted(unit, len(done))

@@ -55,6 +55,9 @@ import signal
 import time
 from dataclasses import dataclass, field
 
+from time import perf_counter
+
+from repro import obs
 from repro.durable.faults import InjectedHang
 from repro.sim.engine import run_block
 
@@ -149,6 +152,12 @@ def _worker_main(wid: int, task_q, result_q) -> None:
         try:
             if fault is not None:
                 fault.apply(unit, index, attempt, inline=False)
+            # Ship the block's metric increments back as a snapshot delta
+            # so fan-out observability survives the process boundary; the
+            # (errors, stats) pair the ledger checkpoints is untouched.
+            reg = obs.active()
+            before = reg.snapshot() if reg is not None else None
+            t0 = perf_counter()
             errors, stats = run_block(
                 sampler,
                 decoder,
@@ -160,7 +169,15 @@ def _worker_main(wid: int, task_q, result_q) -> None:
                 fault=fault,
                 unit=unit,
             )
-            result_q.put(("ok", task_epoch, wid, index, attempt, errors, stats))
+            delta = None
+            if reg is not None:
+                reg.histogram("repro_durable_block_seconds").observe(
+                    perf_counter() - t0
+                )
+                delta = obs.snapshot_delta(reg.snapshot(), before)
+            result_q.put(
+                ("ok", task_epoch, wid, index, attempt, errors, stats, delta)
+            )
         except Exception as exc:  # report and keep serving
             result_q.put(
                 ("err", task_epoch, wid, index, attempt, f"{type(exc).__name__}: {exc}")
@@ -224,6 +241,7 @@ class WorkerFleet:
             if not slot["proc"].is_alive():
                 self.slots[wid] = slot = self._spawn(wid)
                 self.respawns += 1
+                obs.counter("repro_durable_respawns_total").inc()
             slot["q"].put(("cfg", self.epoch, worker_args, fault))
         return self.epoch
 
@@ -237,6 +255,7 @@ class WorkerFleet:
             replacement["q"].put(("cfg", self.epoch, *self._config))
         self.slots[wid] = replacement
         self.respawns += 1
+        obs.counter("repro_durable_respawns_total").inc()
 
     # ------------------------------------------------------------------
     # Introspection (the service's /healthz reads these)
@@ -329,6 +348,7 @@ def run_supervised(
                 failure=reason,
             )
             result.quarantined.append(outcome)
+            obs.counter("repro_durable_quarantined_total").inc()
             emit(
                 "quarantine",
                 unit=unit,
@@ -339,6 +359,8 @@ def run_supervised(
             return None
         result.retries += 1
         delay = policy.backoff(unit, index, attempt)
+        obs.counter("repro_durable_retries_total").inc()
+        obs.counter("repro_durable_backoff_seconds_total").inc(delay)
         emit(
             "retry",
             unit=unit,
@@ -381,6 +403,8 @@ def _run_inline(
             result.aborted = True
             return
         index, shots, seed, attempt = pending.pop(0)
+        obs.counter("repro_durable_attempts_total").inc()
+        t0 = perf_counter() if obs.enabled() else 0.0
         try:
             if fault is not None:
                 fault.apply(unit, index, attempt, inline=True)
@@ -388,6 +412,10 @@ def _run_inline(
                 sampler, decoder, basis_ids, obs_ids, index, shots, seed,
                 fault=fault, unit=unit,
             )
+            if t0:
+                obs.histogram("repro_durable_block_seconds").observe(
+                    perf_counter() - t0
+                )
         except InjectedHang as exc:
             retry = fail(index, shots, attempt, f"timeout: {exc}")
             if retry is not None:
@@ -487,6 +515,7 @@ class _PoolSupervisor:
             shots, seed = self.by_index[index]
             slot["q"].put(("task", self.epoch, self.unit, index, shots, seed, attempt))
             slot["busy"] = (index, attempt, now + self.policy.block_timeout)
+            obs.counter("repro_durable_attempts_total").inc()
 
     def handle_message(self, message) -> None:
         """Process one worker result, deduplicating late/stale arrivals.
@@ -512,7 +541,13 @@ class _PoolSupervisor:
         self.handled.add((index, attempt))
         shots, _ = self.by_index[index]
         if kind == "ok":
-            errors, stats = payload
+            # Late-added payload element: the worker's metrics delta (old
+            # 7-tuple messages from test fakes simply omit it).
+            errors, stats, *extra = payload
+            delta = extra[0] if extra else None
+            reg = obs.active()
+            if reg is not None and delta is not None:
+                reg.merge_snapshot(delta)
             self.block_done(
                 BlockOutcome(
                     index=index, shots=shots, errors=errors,

@@ -1,0 +1,205 @@
+"""Prometheus text exposition (version 0.0.4) for registry snapshots.
+
+Rendering is deliberately dependency-free: the service's ``/metrics``
+endpoint and the ``repro metrics --prometheus`` CLI both go through
+:func:`prometheus_text`.  :func:`parse_prometheus_text` is the matching
+strict reader used by tests and the CI service-smoke exposition lint — it
+checks HELP/TYPE ordering, label syntax, float-parseable sample values,
+and histogram bucket monotonicity.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+__all__ = ["CONTENT_TYPE", "parse_prometheus_text", "prometheus_text"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_LABEL_SEP = "\x1f"
+
+_METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labelstr(names, values, extra=()) -> str:
+    pairs = [
+        f'{n}="{_escape_label(str(v))}"' for n, v in zip(names, values)
+    ]
+    pairs.extend(f'{n}="{_escape_label(str(v))}"' for n, v in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def prometheus_text(snapshot: Mapping) -> str:
+    """Render a registry snapshot as Prometheus exposition text."""
+    lines: list[str] = []
+    for name, entry in sorted(snapshot.items()):
+        kind = entry["kind"]
+        labels = entry.get("labels", [])
+        lines.append(f"# HELP {name} {_escape_help(entry.get('help', ''))}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            edges = entry["edges"]
+            for key, cell in sorted(entry["hist"].items()):
+                values = key.split(_LABEL_SEP) if labels else []
+                cumulative = 0.0
+                for i, edge in enumerate(edges):
+                    cumulative += cell[i]
+                    labelstr = _labelstr(labels, values, [("le", _fmt(edge))])
+                    lines.append(f"{name}_bucket{labelstr} {_fmt(cumulative)}")
+                cumulative += cell[len(edges)]
+                labelstr = _labelstr(labels, values, [("le", "+Inf")])
+                lines.append(f"{name}_bucket{labelstr} {_fmt(cumulative)}")
+                base = _labelstr(labels, values)
+                lines.append(f"{name}_sum{base} {_fmt(cell[-2])}")
+                lines.append(f"{name}_count{base} {_fmt(cell[-1])}")
+        else:
+            for key, value in sorted(entry["values"].items()):
+                values = key.split(_LABEL_SEP) if labels else []
+                lines.append(f"{name}{_labelstr(labels, values)} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Strictly parse exposition text; raises ValueError on format errors.
+
+    Returns ``{family: {"type", "help", "samples": [(name, labels, value)]}}``.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or not _METRIC_RE.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed HELP: {raw!r}")
+            name = parts[2]
+            if name in families:
+                raise ValueError(f"line {lineno}: duplicate HELP for {name}")
+            families[name] = {
+                "type": None,
+                "help": parts[3] if len(parts) > 3 else "",
+                "samples": [],
+            }
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped",
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE: {raw!r}")
+            name = parts[2]
+            if name != current:
+                raise ValueError(
+                    f"line {lineno}: TYPE for {name} does not follow its HELP"
+                )
+            families[name]["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        sample_name = match.group("name")
+        family = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name.removesuffix(suffix)
+            if base in families and families[base]["type"] == "histogram":
+                family = base
+                break
+        if family not in families:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name} without HELP/TYPE"
+            )
+        labels = {}
+        if match.group("labels"):
+            for pair in _split_labels(match.group("labels"), lineno):
+                label_match = _LABEL_RE.match(pair)
+                if not label_match:
+                    raise ValueError(f"line {lineno}: malformed label {pair!r}")
+                labels[label_match.group(1)] = label_match.group(2)
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {match.group('value')!r}"
+            ) from None
+        families[family]["samples"].append((sample_name, labels, value))
+    for name, family in families.items():
+        if family["type"] is None:
+            raise ValueError(f"family {name} has HELP but no TYPE")
+        if family["type"] == "histogram":
+            _check_buckets(name, family["samples"])
+    return families
+
+
+def _split_labels(body: str, lineno: int) -> list[str]:
+    out: list[str] = []
+    token = ""
+    in_quote = False
+    escaped = False
+    for ch in body:
+        if escaped:
+            token += ch
+            escaped = False
+        elif ch == "\\":
+            token += ch
+            escaped = True
+        elif ch == '"':
+            token += ch
+            in_quote = not in_quote
+        elif ch == "," and not in_quote:
+            out.append(token)
+            token = ""
+        else:
+            token += ch
+    if in_quote:
+        raise ValueError(f"line {lineno}: unterminated label quote")
+    if token:
+        out.append(token)
+    return out
+
+
+def _check_buckets(name: str, samples: list) -> None:
+    """Bucket counts must be cumulative (non-decreasing with le)."""
+    series: dict[tuple, list[tuple[float, float]]] = {}
+    for sample_name, labels, value in samples:
+        if not sample_name.endswith("_bucket"):
+            continue
+        le = labels.get("le")
+        if le is None:
+            raise ValueError(f"{name}: bucket sample missing le label")
+        edge = float("inf") if le == "+Inf" else float(le)
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        series.setdefault(key, []).append((edge, value))
+    for key, buckets in series.items():
+        buckets.sort()
+        if buckets[-1][0] != float("inf"):
+            raise ValueError(f"{name}: histogram series missing +Inf bucket")
+        last = 0.0
+        for _, count in buckets:
+            if count < last:
+                raise ValueError(f"{name}: bucket counts not cumulative")
+            last = count

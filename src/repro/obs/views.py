@@ -1,0 +1,77 @@
+"""Derived views over registry snapshots: compat dicts and CLI rendering."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["decode_stats_view", "format_snapshot"]
+
+_LABEL_SEP = "\x1f"
+
+# decode_stats dict keys <- (instrument, label) in the registry
+_TIER_KEYS = ("trivial", "weight1", "weight2", "cached", "batched", "full")
+
+
+def decode_stats_view(snapshot: Mapping) -> dict:
+    """Reconstruct the legacy ``decode_stats`` dict from a metrics snapshot.
+
+    The tier dicts threaded through results are recorded by the same
+    ``_record_stats`` choke point that feeds these instruments, so on any
+    single-process run this view is equal to the hand-threaded dict.
+    """
+    out = {"shots": 0, "unique": 0}
+    out.update({tier: 0 for tier in _TIER_KEYS})
+    out["lru_hits"] = 0
+    out["lru_misses"] = 0
+
+    def total(name: str) -> float:
+        entry = snapshot.get(name)
+        return sum(entry["values"].values()) if entry else 0
+
+    out["shots"] = int(total("repro_decode_shots_total"))
+    out["unique"] = int(total("repro_decode_unique_total"))
+    out["lru_hits"] = int(total("repro_decode_lru_hits_total"))
+    out["lru_misses"] = int(total("repro_decode_lru_misses_total"))
+    tiers = snapshot.get("repro_decode_tier_shots_total")
+    if tiers:
+        for key, value in tiers["values"].items():
+            tier = key.split(_LABEL_SEP)[0]
+            if tier in out:
+                out[tier] = int(value)
+    return out
+
+
+def _rows(entry: Mapping) -> list[tuple[str, float]]:
+    labels = entry.get("labels", [])
+    if entry["kind"] == "histogram":
+        rows = []
+        for key, cell in sorted(entry["hist"].items()):
+            label = _label_text(labels, key)
+            rows.append((f"{label}count" if label else "count", cell[-1]))
+            rows.append((f"{label}sum" if label else "sum", cell[-2]))
+        return rows
+    return [
+        (_label_text(labels, key).rstrip() or "", value)
+        for key, value in sorted(entry["values"].items())
+    ]
+
+
+def _label_text(labels, key: str) -> str:
+    if not labels:
+        return ""
+    values = key.split(_LABEL_SEP)
+    return "{%s} " % ",".join(f"{n}={v}" for n, v in zip(labels, values))
+
+
+def format_snapshot(snapshot: Mapping, title: str = "") -> str:
+    """Human-readable rendering for ``repro metrics``."""
+    lines = [title] if title else []
+    if not snapshot:
+        lines.append("(no instruments recorded)")
+        return "\n".join(lines)
+    for name, entry in sorted(snapshot.items()):
+        lines.append(f"{name} ({entry['kind']}): {entry.get('help', '')}")
+        for label, value in _rows(entry):
+            shown = int(value) if value == int(value) else round(value, 6)
+            lines.append(f"  {label + ' ' if label else ''}{shown}")
+    return "\n".join(lines)

@@ -32,6 +32,7 @@ import collections
 import threading
 import time
 
+from repro import obs
 from repro.durable import (
     CampaignInterrupted,
     DurableExecutor,
@@ -154,6 +155,11 @@ class Scheduler:
     # ------------------------------------------------------------------
     def admit(self, spec: dict) -> Admission:
         """Decide one submission; never blocks on a full queue."""
+        decision = self._decide(spec)
+        obs.counter("repro_service_admissions_total").inc(1, decision.outcome)
+        return decision
+
+    def _decide(self, spec: dict) -> Admission:
         with self._cond:
             if self._draining:
                 return Admission("draining", detail="server is draining")
@@ -211,6 +217,24 @@ class Scheduler:
                 },
             }
 
+    def update_gauges(self) -> None:
+        """Refresh scrape-time gauges from live scheduler state.
+
+        Called by the HTTP layer before rendering ``/metrics`` (and the
+        ``metrics`` field on status), so level-style readings — queue
+        depth, fleet liveness, cache occupancy — are current at scrape
+        time rather than stale since the last state change.
+        """
+        reg = obs.active()
+        if reg is None:
+            return
+        stats = self.stats()
+        reg.gauge("repro_service_queue_depth").set(stats["queue_depth"])
+        reg.gauge("repro_service_fleet_alive").set(stats["fleet"]["alive"])
+        cache_gauge = reg.gauge("repro_service_cache_entries")
+        for name, cache_stats in stats["caches"].items():
+            cache_gauge.set(cache_stats["entries"], name)
+
     def events(self, job_id: str, since: int = 0) -> list[dict]:
         """Progress events (Wilson-interval updates) recorded in-memory."""
         with self._cond:
@@ -228,13 +252,23 @@ class Scheduler:
                     return
                 job_id = self._queue.popleft()
                 self._current_job_id = job_id
+            job_t0 = time.monotonic()
             try:
-                self._run_job(job_id)
+                with obs.span("service.job", job=job_id):
+                    self._run_job(job_id)
             finally:
                 with self._cond:
                     self._current_job_id = None
                     self._current_executor = None
                     self._jobs_completed += 1
+                reg = obs.active()
+                if reg is not None:
+                    job = self.store.get(job_id)
+                    state = job.state if job is not None else "unknown"
+                    reg.counter("repro_service_jobs_total").inc(1, state)
+                    reg.histogram("repro_service_job_seconds").observe(
+                        time.monotonic() - job_t0
+                    )
 
     def _run_job(self, job_id: str) -> None:
         job = self.store.get(job_id)
@@ -254,6 +288,7 @@ class Scheduler:
                 events.append(
                     {"seq": len(events), "ci": [lo, hi], **progress}
                 )
+            obs.counter("repro_service_block_events_total").inc()
             if (
                 self.job_timeout is not None
                 and time.monotonic() - started > self.job_timeout

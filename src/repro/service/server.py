@@ -27,6 +27,12 @@ A deliberately small, dependency-free API over the scheduler:
 ``GET /jobs/<id>/events?since=N``
     Wilson-interval progress stream: one event per completed block,
     cumulative per unit.  Poll with ``since=<next>`` to tail it.
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4) of the service's obs
+    registry — observability is always enabled in the service process —
+    with scrape-time gauges (queue depth, fleet liveness, cache
+    occupancy) refreshed from the scheduler first.  ``/healthz`` carries
+    the same registry as a compact ``metrics`` rollup field.
 
 Shutdown: SIGTERM/SIGINT stops admission (503), checkpoints the running
 job via the durable layer's graceful stop, persists every queued job,
@@ -42,6 +48,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro import obs
 from repro.service.scheduler import Scheduler
 from repro.service.specs import SpecError, spec_from_payload
 from repro.service.store import JobStore, atomic_write_json
@@ -80,6 +87,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, code: int, body: str, content_type: str) -> None:
+        data = body.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _job_payload(self, job) -> dict:
         return job.to_dict()
 
@@ -89,14 +104,30 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        obs.counter("repro_service_requests_total").inc(
+            1, "/" + (parts[0] if parts else "")
+        )
+        if parts == ["metrics"]:
+            scheduler = self.server.scheduler
+            scheduler.update_gauges()
+            reg = obs.active()
+            snapshot = reg.snapshot() if reg is not None else {}
+            self._reply_text(200, obs.prometheus_text(snapshot), obs.CONTENT_TYPE)
+            return
         if parts == ["healthz"]:
             scheduler = self.server.scheduler
+            scheduler.update_gauges()
             stats = scheduler.stats()
+            reg = obs.active()
+            metrics_rollup = (
+                obs.summarize_snapshot(reg.snapshot()) if reg is not None else {}
+            )
             self._reply(
                 200,
                 {
                     "status": "draining" if scheduler.draining else "ok",
                     "jobs": self.server.store.counts(),
+                    "metrics": metrics_rollup,
                     **stats,
                 },
             )
@@ -136,6 +167,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        obs.counter("repro_service_requests_total").inc(
+            1, "/" + (parts[0] if parts else "")
+        )
         if parts != ["jobs"]:
             self._reply(404, {"error": f"unknown path {url.path!r}"})
             return
@@ -209,6 +243,10 @@ def serve_forever(
     the drain path: stop admitting, checkpoint, exit 130 — matching the
     CLI's interrupted-campaign semantics.
     """
+    # Observability is always on in the service: enable the registry
+    # before the scheduler spawns its fleet, so forked workers inherit an
+    # armed registry and ship per-block metric deltas back with results.
+    obs.enable()
     store = JobStore(directory)
     scheduler = Scheduler(
         store,

@@ -35,10 +35,12 @@ are decoded once.
 from __future__ import annotations
 
 import multiprocessing
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.circuits import Circuit
 from repro.decoders.batch import TIER_NAMES, SyndromeDecoder
 from repro.sim.compiled import compile_circuit
@@ -133,11 +135,13 @@ class _ReferenceSampler:
 
 def make_sampler(circuit: Circuit, backend: str):
     """Build the per-block sampler for ``backend`` (compiled once here)."""
-    if backend == "packed":
-        return compile_circuit(circuit)
-    if backend == "reference":
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; options: {BACKENDS}")
+    obs.counter("repro_engine_sampler_compiles_total").inc(1, backend)
+    with obs.span("engine.compile", backend=backend):
+        if backend == "packed":
+            return compile_circuit(circuit)
         return _ReferenceSampler(circuit)
-    raise ValueError(f"unknown backend {backend!r}; options: {BACKENDS}")
 
 
 def _pack_observables(observables: np.ndarray, obs_ids: Sequence[int]) -> np.ndarray:
@@ -171,6 +175,8 @@ def _run_chunk(
     # Preallocate the chunk's syndrome array and fill block-by-block, so
     # peak detector memory really is the documented one-chunk bound (a
     # concatenate of per-block slices would transiently double it).
+    reg = obs.active()
+    t0 = perf_counter() if reg is not None else 0.0
     chunk_shots = sum(block_shots for _, block_shots, _ in blocks)
     dets = np.empty((chunk_shots, len(basis_ids)), dtype=bool)
     actual = np.empty(chunk_shots, dtype=np.int64)
@@ -187,6 +193,7 @@ def _run_chunk(
                 _seed_label(seed),
             ) from exc
         at += data.shots
+    t1 = perf_counter() if reg is not None else 0.0
     try:
         predictions = decoder.decode_batch(dets)
     except Exception as exc:
@@ -199,7 +206,16 @@ def _run_chunk(
             _seed_label(first_seed),
         ) from exc
     stats = decoder.last_batch_stats or {}
-    return int(np.count_nonzero(predictions != actual)), stats
+    errors = int(np.count_nonzero(predictions != actual))
+    if reg is not None:
+        t2 = perf_counter()
+        reg.counter("repro_engine_shots_total").inc(chunk_shots)
+        reg.counter("repro_engine_blocks_total").inc(len(blocks))
+        reg.counter("repro_engine_logical_errors_total").inc(errors)
+        reg.histogram("repro_engine_sample_seconds").observe(t1 - t0)
+        reg.histogram("repro_engine_decode_seconds").observe(t2 - t1)
+        reg.histogram("repro_engine_chunk_seconds").observe(t2 - t0)
+    return errors, stats
 
 
 def decode_block_full(
@@ -265,6 +281,8 @@ def run_block(
     real tier assertion — degrades gracefully to the tier-free
     :func:`decode_block_full` fallback instead of failing the block.
     """
+    reg = obs.active()
+    t0 = perf_counter() if reg is not None else 0.0
     if fresh_decoder_state:
         decoder.reset_batch_state()
     try:
@@ -296,7 +314,13 @@ def run_block(
             ) from exc
     if fallback:
         stats["fallback"] = 1
-    return int(np.count_nonzero(predictions != actual)), stats
+    errors = int(np.count_nonzero(predictions != actual))
+    if reg is not None:
+        reg.counter("repro_engine_shots_total").inc(block_shots)
+        reg.counter("repro_engine_blocks_total").inc(1)
+        reg.counter("repro_engine_logical_errors_total").inc(errors)
+        reg.histogram("repro_engine_chunk_seconds").observe(perf_counter() - t0)
+    return errors, stats
 
 
 # Per-worker state installed by the pool initializer, so the sampler
@@ -308,8 +332,22 @@ def _init_worker(sampler, decoder, basis_ids, obs_ids) -> None:
     _WORKER["args"] = (sampler, decoder, basis_ids, obs_ids)
 
 
-def _run_chunk_in_worker(blocks) -> tuple[int, dict[str, int]]:
-    return _run_chunk(*_WORKER["args"], blocks)
+def _run_chunk_in_worker(blocks) -> tuple[int, dict[str, int], dict | None]:
+    """Pool work unit: chunk result plus the worker's metrics delta.
+
+    When observability is on in the worker (inherited by fork, or re-armed
+    via ``REPRO_OBS=1`` under spawn), the chunk's instrument increments are
+    shipped back as a snapshot delta for the parent to merge — metrics
+    survive process fan-out without touching the ``(errors, stats)`` pair
+    that campaign results are built from.
+    """
+    reg = obs.active()
+    if reg is None:
+        errors, stats = _run_chunk(*_WORKER["args"], blocks)
+        return errors, stats, None
+    before = reg.snapshot()
+    errors, stats = _run_chunk(*_WORKER["args"], blocks)
+    return errors, stats, obs.snapshot_delta(reg.snapshot(), before)
 
 
 def accumulate_decode_stats(into: dict, stats: dict[str, int]) -> None:
@@ -318,10 +356,11 @@ def accumulate_decode_stats(into: dict, stats: dict[str, int]) -> None:
     The shared convention for tier accounting across chunks, workers,
     circuits of a campaign, and points of a sweep: plain per-key sums,
     so ``sum(into[t] for t in TIER_NAMES) == into["unique"]`` holds for
-    any aggregate whose parts each satisfy it.
+    any aggregate whose parts each satisfy it.  Delegates to
+    ``repro.obs.merge_counts`` — the one merge implementation shared with
+    metric snapshot merging.
     """
-    for key, value in stats.items():
-        into[key] = into.get(key, 0) + value
+    obs.merge_counts(into, stats)
 
 
 _accumulate_stats = accumulate_decode_stats
@@ -390,22 +429,31 @@ def count_logical_errors(
 
     errors = 0
     if workers == 1 or len(chunks) == 1:
-        for chunk in chunks:
-            chunk_errors, stats = _run_chunk(sampler, decoder, basis_ids, obs_ids, chunk)
-            errors += chunk_errors
-            if decode_stats is not None:
-                _accumulate_stats(decode_stats, stats)
+        with obs.span("engine.count", shots=shots, workers=1, backend=backend):
+            for chunk in chunks:
+                chunk_errors, stats = _run_chunk(
+                    sampler, decoder, basis_ids, obs_ids, chunk
+                )
+                errors += chunk_errors
+                if decode_stats is not None:
+                    _accumulate_stats(decode_stats, stats)
         return errors
 
+    reg = obs.active()
     ctx = multiprocessing.get_context()
-    with ctx.Pool(
-        processes=min(workers, len(chunks)),
-        initializer=_init_worker,
-        initargs=(sampler, decoder, basis_ids, obs_ids),
-    ) as pool:
-        # Summation is order-independent, so drain shards as they finish.
-        for chunk_errors, stats in pool.imap_unordered(_run_chunk_in_worker, chunks):
-            errors += chunk_errors
-            if decode_stats is not None:
-                _accumulate_stats(decode_stats, stats)
+    with obs.span("engine.count", shots=shots, workers=workers, backend=backend):
+        with ctx.Pool(
+            processes=min(workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(sampler, decoder, basis_ids, obs_ids),
+        ) as pool:
+            # Summation is order-independent, so drain shards as they finish.
+            for chunk_errors, stats, delta in pool.imap_unordered(
+                _run_chunk_in_worker, chunks
+            ):
+                errors += chunk_errors
+                if decode_stats is not None:
+                    _accumulate_stats(decode_stats, stats)
+                if reg is not None and delta is not None:
+                    reg.merge_snapshot(delta)
     return errors

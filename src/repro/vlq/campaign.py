@@ -42,8 +42,10 @@ expressed over whole programs instead of a single static patch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Sequence
 
+from repro import obs
 from repro.core import (
     CompiledSchedule,
     LogicalProgram,
@@ -105,6 +107,19 @@ PROGRAMS = {
     "ghz": LogicalProgram.ghz,
     "t": LogicalProgram.t_teleport,
 }
+
+
+def _record_unit_metrics(kind: str, unit_shots: int, t0: float) -> None:
+    """Campaign-unit instruments (no-op when observability is off)."""
+    reg = obs.active()
+    if reg is None:
+        return
+    reg.counter("repro_campaign_units_total").inc(1, kind)
+    reg.counter("repro_campaign_shots_total").inc(unit_shots)
+    if t0:
+        reg.histogram("repro_campaign_unit_seconds").observe(
+            perf_counter() - t0, kind
+        )
 
 
 def build_program(name: str, qubits: int) -> LogicalProgram:
@@ -322,14 +337,16 @@ def run_program_experiment(
         shape = timeline_shape(timeline, spec)
 
         def _build_lowering():
-            lowered = lower_timeline(timeline, error_model, spec)
-            if certify_lowering:
-                certify_deterministic(
-                    lowered.circuit, name=f"q{timeline.qubit} lowering"
-                )
-                if oracle_cert:
-                    certify_joint_oracle(lowered)
-            return lowered, make_sampler(lowered.circuit, backend)
+            obs.counter("repro_campaign_lowerings_total").inc(1, "single")
+            with obs.span("campaign.lower", qubit=timeline.qubit):
+                lowered = lower_timeline(timeline, error_model, spec)
+                if certify_lowering:
+                    certify_deterministic(
+                        lowered.circuit, name=f"q{timeline.qubit} lowering"
+                    )
+                    if oracle_cert:
+                        certify_joint_oracle(lowered)
+                return lowered, make_sampler(lowered.circuit, backend)
 
         memory, sampler = lowering_cache.get(
             (shape, error_model, backend), _build_lowering
@@ -340,36 +357,39 @@ def run_program_experiment(
         )
         stats: dict = {}
         unit_seed = None if seed is None else seed + _QUBIT_SEED_STRIDE * index
-        if executor is not None:
-            outcome = executor.count(
-                unit=f"{machine.embedding}/{refresh}/d{machine.distance}/q{qubit}",
-                circuit=memory.circuit,
-                decoder=setup.decoder,
-                basis_ids=setup.basis_detectors,
-                obs_ids=setup.basis_observables,
-                shots=shots,
-                seed=unit_seed,
-                backend=backend,
-                decode_stats=stats,
-                sampler=sampler,
-            )
-            errors, unit_shots = outcome.errors, outcome.shots
-        else:
-            unit_shots = shots
-            errors = count_logical_errors(
-                memory.circuit,
-                setup.decoder,
-                setup.basis_detectors,
-                setup.basis_observables,
-                shots,
-                seed=unit_seed,
-                workers=workers,
-                chunk_size=chunk_size,
-                backend=backend,
-                decode_stats=stats,
-                sampler=sampler,
-            )
+        unit_t0 = perf_counter() if obs.enabled() else 0.0
+        with obs.span("campaign.unit", kind="qubit", qubit=qubit):
+            if executor is not None:
+                outcome = executor.count(
+                    unit=f"{machine.embedding}/{refresh}/d{machine.distance}/q{qubit}",
+                    circuit=memory.circuit,
+                    decoder=setup.decoder,
+                    basis_ids=setup.basis_detectors,
+                    obs_ids=setup.basis_observables,
+                    shots=shots,
+                    seed=unit_seed,
+                    backend=backend,
+                    decode_stats=stats,
+                    sampler=sampler,
+                )
+                errors, unit_shots = outcome.errors, outcome.shots
+            else:
+                unit_shots = shots
+                errors = count_logical_errors(
+                    memory.circuit,
+                    setup.decoder,
+                    setup.basis_detectors,
+                    setup.basis_observables,
+                    shots,
+                    seed=unit_seed,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    backend=backend,
+                    decode_stats=stats,
+                    sampler=sampler,
+                )
         accumulate_decode_stats(decode_totals, stats)
+        _record_unit_metrics("qubit", unit_shots, unit_t0)
         per_qubit.append(
             QubitExperiment(
                 qubit=qubit,
@@ -407,10 +427,12 @@ def run_program_experiment(
             shape = joint_shape(ta, tb, spans, jspec)
 
             def _build_joint():
-                lowered = lower_joint_timelines(ta, tb, spans, error_model, jspec)
-                if certify_joint:
-                    certify_joint_deterministic(lowered, oracle=oracle_cert)
-                return lowered, make_sampler(lowered.circuit, backend)
+                obs.counter("repro_campaign_lowerings_total").inc(1, "joint")
+                with obs.span("campaign.joint_lower", qubits=f"{qa}+{qb}"):
+                    lowered = lower_joint_timelines(ta, tb, spans, error_model, jspec)
+                    if certify_joint:
+                        certify_joint_deterministic(lowered, oracle=oracle_cert)
+                    return lowered, make_sampler(lowered.circuit, backend)
 
             memory, sampler = joint_cache.get(
                 (shape, error_model, backend), _build_joint
@@ -421,39 +443,42 @@ def run_program_experiment(
             )
             stats = {}
             pair_seed = None if seed is None else seed + _PAIR_SEED_STRIDE * (index + 1)
-            if executor is not None:
-                outcome = executor.count(
-                    unit=(
-                        f"{machine.embedding}/{refresh}/d{machine.distance}"
-                        f"/pair{index}:q{qa}+q{qb}"
-                    ),
-                    circuit=memory.circuit,
-                    decoder=setup.decoder,
-                    basis_ids=setup.basis_detectors,
-                    obs_ids=setup.basis_observables,
-                    shots=shots,
-                    seed=pair_seed,
-                    backend=backend,
-                    decode_stats=stats,
-                    sampler=sampler,
-                )
-                errors, pair_shots = outcome.errors, outcome.shots
-            else:
-                pair_shots = shots
-                errors = count_logical_errors(
-                    memory.circuit,
-                    setup.decoder,
-                    setup.basis_detectors,
-                    setup.basis_observables,
-                    shots,
-                    seed=pair_seed,
-                    workers=workers,
-                    chunk_size=chunk_size,
-                    backend=backend,
-                    decode_stats=stats,
-                    sampler=sampler,
-                )
+            unit_t0 = perf_counter() if obs.enabled() else 0.0
+            with obs.span("campaign.unit", kind="pair", qubits=f"{qa}+{qb}"):
+                if executor is not None:
+                    outcome = executor.count(
+                        unit=(
+                            f"{machine.embedding}/{refresh}/d{machine.distance}"
+                            f"/pair{index}:q{qa}+q{qb}"
+                        ),
+                        circuit=memory.circuit,
+                        decoder=setup.decoder,
+                        basis_ids=setup.basis_detectors,
+                        obs_ids=setup.basis_observables,
+                        shots=shots,
+                        seed=pair_seed,
+                        backend=backend,
+                        decode_stats=stats,
+                        sampler=sampler,
+                    )
+                    errors, pair_shots = outcome.errors, outcome.shots
+                else:
+                    pair_shots = shots
+                    errors = count_logical_errors(
+                        memory.circuit,
+                        setup.decoder,
+                        setup.basis_detectors,
+                        setup.basis_observables,
+                        shots,
+                        seed=pair_seed,
+                        workers=workers,
+                        chunk_size=chunk_size,
+                        backend=backend,
+                        decode_stats=stats,
+                        sampler=sampler,
+                    )
             accumulate_decode_stats(decode_totals, stats)
+            _record_unit_metrics("pair", pair_shots, unit_t0)
             pieces.append(
                 PieceExperiment(
                     qubits=(qa, qb),
